@@ -1,0 +1,93 @@
+// api_test exercises the public facade exactly as a downstream user would:
+// only the root package import, no internal paths.
+package learnedindex_test
+
+import (
+	"sort"
+	"testing"
+
+	"learnedindex"
+)
+
+func sortedKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	v := uint64(17)
+	for i := range keys {
+		v += uint64(i%97) + 1
+		keys[i] = v
+	}
+	return keys
+}
+
+func TestPublicAPIRangeIndex(t *testing.T) {
+	keys := sortedKeys(50_000)
+	idx := learnedindex.New(keys, learnedindex.DefaultConfig(500))
+	for _, k := range []uint64{keys[0], keys[777], keys[49_999], keys[49_999] + 1, 0} {
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if got := idx.Lookup(k); got != want {
+			t.Fatalf("Lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if !idx.Contains(keys[100]) {
+		t.Fatal("Contains broken")
+	}
+	s, e := idx.RangeScan(keys[10], keys[20])
+	if s != 10 || e != 20 {
+		t.Fatalf("RangeScan = [%d,%d)", s, e)
+	}
+}
+
+func TestPublicAPICustomConfig(t *testing.T) {
+	keys := sortedKeys(20_000)
+	cfg := learnedindex.Config{
+		Top:             learnedindex.TopMultivariate,
+		StageSizes:      []int{200},
+		Search:          learnedindex.SearchQuaternary,
+		HybridThreshold: 64,
+	}
+	idx := learnedindex.New(keys, cfg)
+	for _, k := range []uint64{keys[5], keys[19_000]} {
+		if !idx.Contains(k) {
+			t.Fatalf("missing %d", k)
+		}
+	}
+}
+
+func TestPublicAPILearnedHash(t *testing.T) {
+	keys := sortedKeys(20_000)
+	h := learnedindex.NewLearnedHash(keys, len(keys), 1000)
+	st := learnedindex.MeasureConflicts(keys, len(keys), h.Hash)
+	rnd := learnedindex.MeasureConflicts(keys, len(keys), learnedindex.RandomHashFunc(len(keys)))
+	// These keys are near-regular; the learned hash should crush random.
+	if st.ConflictRate() >= rnd.ConflictRate() {
+		t.Fatalf("learned %.3f >= random %.3f", st.ConflictRate(), rnd.ConflictRate())
+	}
+}
+
+func TestPublicAPIDelta(t *testing.T) {
+	keys := sortedKeys(5000)
+	d := learnedindex.NewDelta(append([]uint64{}, keys...), learnedindex.DefaultConfig(64), 1000)
+	last := keys[len(keys)-1]
+	for i := uint64(1); i <= 1500; i++ {
+		d.Insert(last + i)
+	}
+	if !d.Contains(last + 1500) {
+		t.Fatal("lost an insert")
+	}
+	if d.Merges() == 0 {
+		t.Fatal("expected a merge")
+	}
+}
+
+func TestPublicAPIGridSearch(t *testing.T) {
+	keys := sortedKeys(20_000)
+	probes := keys[:2000]
+	res := learnedindex.GridSearch(keys, probes,
+		learnedindex.DefaultGrid([]int{50, 200})[:4], nil)
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].AvgLookup <= 0 {
+		t.Fatal("no measurement")
+	}
+}

@@ -1,0 +1,83 @@
+// Command lix-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lix-bench [flags] <experiment>...
+//
+// Experiments: naive, figure4, figure5, figure6, figure8, figure10,
+// figure11, table1, appendixA, appendixE, all (everything except the
+// GRU-training path of figure10; add -gru to include it).
+//
+// Flags scale the run; defaults are laptop-sized with the paper's ratios
+// preserved (see DESIGN.md §3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"learnedindex/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "integer dataset size")
+	nstr := flag.Int("nstr", 200_000, "string dataset size")
+	nurl := flag.Int("nurl", 20_000, "URL key-set size")
+	probes := flag.Int("probes", 200_000, "lookup probes per measurement")
+	rounds := flag.Int("rounds", 3, "timing rounds")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	gru := flag.Bool("gru", false, "train the GRU series in figure10 (slow)")
+	flag.Parse()
+
+	opts := experiments.Options{
+		N: *n, NStr: *nstr, NUrl: *nurl,
+		Probes: *probes, Rounds: *rounds, Seed: *seed,
+		Out: os.Stdout,
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|all>...")
+		os.Exit(2)
+	}
+	for _, exp := range args {
+		run(exp, opts, *gru)
+	}
+}
+
+func run(exp string, opts experiments.Options, gru bool) {
+	start := time.Now()
+	switch exp {
+	case "naive":
+		experiments.Naive(opts)
+	case "figure4":
+		experiments.Figure4(opts)
+	case "figure5":
+		experiments.Figure5(opts)
+	case "figure6":
+		experiments.Figure6(opts)
+	case "figure8":
+		experiments.Figure8(opts)
+	case "figure10":
+		experiments.Figure10(opts, gru)
+	case "figure11":
+		experiments.Figure11(opts)
+	case "table1":
+		experiments.Table1(opts)
+	case "appendixA":
+		experiments.AppendixA(opts)
+	case "appendixE":
+		experiments.AppendixE(opts)
+	case "all":
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE"} {
+			run(e, opts, gru)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	fmt.Printf("[%s done in %v]\n", exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,80 @@
+// Command lix-datagen writes the synthetic datasets to disk for inspection
+// or for use by external tools. Integer datasets are written as
+// little-endian uint64 with an 8-byte count header (the common layout of
+// learned-index benchmark suites); string datasets one key per line.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"learnedindex/internal/data"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "dataset size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dir := flag.String("dir", "datasets", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, keys []uint64) {
+		path := filepath.Join(*dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(keys)))
+		if _, err := w.Write(buf[:]); err != nil {
+			fatal(err)
+		}
+		for _, k := range keys {
+			binary.LittleEndian.PutUint64(buf[:], k)
+			if _, err := w.Write(buf[:]); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d keys)\n", path, len(keys))
+	}
+
+	write(fmt.Sprintf("maps_%d.bin", *n), data.Maps(*n, *seed))
+	write(fmt.Sprintf("weblogs_%d.bin", *n), data.Weblogs(*n, *seed))
+	write(fmt.Sprintf("lognormal_%d.bin", *n), data.LognormalPaper(*n, *seed))
+
+	// String doc-ids, one per line.
+	spath := filepath.Join(*dir, fmt.Sprintf("docids_%d.txt", *n/10))
+	f, err := os.Create(spath)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for _, s := range data.DocIDs(*n/10, *seed) {
+		fmt.Fprintln(w, s)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", spath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lix-datagen:", err)
+	os.Exit(1)
+}

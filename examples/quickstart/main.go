@@ -1,0 +1,54 @@
+// Quickstart: build a Recursive Model Index over a million lognormal
+// integer keys, look up points, scan a range, and compare footprint and
+// error bounds against a read-optimized B-Tree — the 60-second tour of the
+// library.
+package main
+
+import (
+	"fmt"
+
+	"learnedindex/internal/btree"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+)
+
+func main() {
+	// 1. A sorted in-memory key column (the paper's §2 setting).
+	keys := data.LognormalPaper(1_000_000, 42)
+	fmt.Printf("dataset: %d unique lognormal keys, max %d\n\n", len(keys), keys[len(keys)-1])
+
+	// 2. Train a 2-stage RMI: linear top model routing into 1000 linear
+	//    leaf models, each with stored min/max error bounds.
+	rmi := core.New(keys, core.DefaultConfig(1000))
+	fmt.Printf("RMI: %d leaves, %d B index, mean abs err %.1f, max err %d\n",
+		rmi.NumLeaves(), rmi.SizeBytes(), rmi.MeanAbsErr(), rmi.MaxAbsErr())
+
+	// 3. Point lookups: Lookup returns lower-bound semantics — the position
+	//    of the first key >= the probe — for stored and absent keys alike.
+	probe := keys[123_456]
+	missing := data.SampleMissing(keys, 1, 7)[0]
+	pos := rmi.Lookup(probe)
+	fmt.Printf("\nLookup(%d) = position %d (key there: %d)\n", probe, pos, keys[pos])
+	fmt.Printf("Contains(%d) = %v, Contains(%d) = %v\n",
+		probe, rmi.Contains(probe), missing, rmi.Contains(missing))
+
+	// 4. What the model actually does: predict a position plus an error
+	//    window, then search only inside the window.
+	pred, lo, hi := rmi.Predict(probe)
+	fmt.Printf("model predicted %d, guaranteed window [%d, %d) — %d keys instead of %d\n",
+		pred, lo, hi, hi-lo, len(keys))
+
+	// 5. Range scan: all keys in [a, b).
+	a, b := keys[500_000], keys[500_100]
+	s, e := rmi.RangeScan(a, b)
+	fmt.Printf("\nRangeScan(%d, %d) = positions [%d, %d): %d keys\n", a, b, s, e, e-s)
+
+	// 6. The comparison that motivates the paper: a page-128 read-optimized
+	//    B-Tree over the same data, against the Figure 4 sweet-spot RMI
+	//    (few leaves, each covering ~20k keys).
+	bt := btree.New([]uint64(keys), 128)
+	small := core.New(keys, core.DefaultConfig(len(keys)/20000))
+	fmt.Printf("\nB-Tree (page 128): %d B — this RMI is %.0fx smaller, the %d-leaf one %.0fx\n",
+		bt.SizeBytes(), float64(bt.SizeBytes())/float64(rmi.SizeBytes()),
+		small.NumLeaves(), float64(bt.SizeBytes())/float64(small.SizeBytes()))
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeLookupsPositive(t *testing.T) {
+	probes := []uint64{1, 2, 3, 4}
+	d := TimeLookups(probes, 2, func(k uint64) int { return int(k) })
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+}
+
+func TestTimeLookupsEmpty(t *testing.T) {
+	if TimeLookups(nil, 1, func(uint64) int { return 0 }) != 0 {
+		t.Fatal("empty probes should time to zero")
+	}
+	if TimeStringLookups(nil, 1, func(string) int { return 0 }) != 0 {
+		t.Fatal("empty string probes should time to zero")
+	}
+}
+
+func TestTimeLookupsMeasuresWork(t *testing.T) {
+	probes := make([]uint64, 64)
+	slow := TimeLookups(probes, 1, func(uint64) int {
+		time.Sleep(50 * time.Microsecond)
+		return 0
+	})
+	fast := TimeLookups(probes, 1, func(uint64) int { return 0 })
+	if slow < 10*fast {
+		t.Fatalf("slow fn (%v) should dwarf fast fn (%v)", slow, fast)
+	}
+}
+
+func TestTimeStringLookups(t *testing.T) {
+	d := TimeStringLookups([]string{"a", "b"}, 3, func(s string) int { return len(s) })
+	if d < 0 {
+		t.Fatal("negative")
+	}
+}
+
+func TestMB(t *testing.T) {
+	if MB(1<<20) != "1.00" {
+		t.Fatalf("MB(1MiB) = %s", MB(1<<20))
+	}
+	if MB(1<<19) != "0.50" {
+		t.Fatalf("MB(0.5MiB) = %s", MB(1<<19))
+	}
+}
+
+func TestFactor(t *testing.T) {
+	if Factor(2) != "(2.00x)" || Factor(0.25) != "(0.25x)" {
+		t.Fatal("factor format wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"col1", "column-two"},
+	}
+	tbl.Add("a", "x")
+	tbl.Add("longer-cell", "y")
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: both data rows start their second column at the
+	// same offset.
+	idx1 := strings.Index(lines[3], "x")
+	idx2 := strings.Index(lines[4], "y")
+	if idx1 != idx2 {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.Add("1", "2", "extra") // more cells than headers must not panic
+	tbl.Add("1")               // fewer cells must not panic
+	tbl.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+}

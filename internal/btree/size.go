@@ -1,0 +1,33 @@
+package btree
+
+// SizeBytes returns the memory footprint of the index structure itself,
+// excluding the indexed data array — matching the paper's Figure 4/6
+// convention of counting only index overhead ("we only counted the extra
+// index overhead excluding the sorted array itself", Appendix B).
+//
+// For fixed-width keys each separator costs the key width; string
+// separators cost a 16-byte header plus the string bytes (Go slices share
+// backing data with the key array, but a production tree would materialize
+// separators, so we charge them in full as the paper's B-Tree does).
+func (t *Index[K]) SizeBytes() int {
+	total := 0
+	for _, lvl := range t.levels {
+		for _, k := range lvl {
+			total += keyBytes(k)
+		}
+	}
+	return total
+}
+
+func keyBytes[K any](k K) int {
+	switch v := any(k).(type) {
+	case uint64, int64, float64:
+		return 8
+	case uint32, int32, float32:
+		return 4
+	case string:
+		return 16 + len(v)
+	default:
+		return 8
+	}
+}

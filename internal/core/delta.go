@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"learnedindex/internal/search"
+)
+
+// DeltaIndex handles inserts for a learned index with the delta/buffer
+// strategy of Appendix D.1: "All inserts are kept in buffer and from time
+// to time merged with a potential retraining of the model. This approach is
+// already widely used, for example in Bigtable."
+//
+// Lookups consult the trained RMI over the base array and binary-search the
+// (small, sorted) delta buffer, merging the two views. When the buffer
+// exceeds the merge threshold, the arrays are merged and the RMI retrained.
+type DeltaIndex struct {
+	rmi    *RMI
+	base   []uint64
+	delta  []uint64 // sorted insert buffer
+	cfg    Config
+	thresh int
+	merges int
+}
+
+// NewDelta builds a delta index over the initial sorted keys. mergeThresh
+// is the buffered-insert count that triggers a merge+retrain (default:
+// max(1024, n/16)).
+func NewDelta(keys []uint64, cfg Config, mergeThresh int) *DeltaIndex {
+	if mergeThresh <= 0 {
+		mergeThresh = len(keys) / 16
+		if mergeThresh < 1024 {
+			mergeThresh = 1024
+		}
+	}
+	return &DeltaIndex{rmi: New(keys, cfg), base: keys, cfg: cfg, thresh: mergeThresh}
+}
+
+// Insert adds a key. Appends (the common log/timestamp workload the paper
+// calls out as O(1) for learned indexes) and mid-inserts both go through
+// the buffer; the buffer is kept sorted by insertion-sort from the back,
+// which is O(1) amortized for append-mostly workloads.
+func (d *DeltaIndex) Insert(key uint64) {
+	d.delta = append(d.delta, key)
+	// Insertion sort from the back: appends cost O(1).
+	for i := len(d.delta) - 1; i > 0 && d.delta[i-1] > d.delta[i]; i-- {
+		d.delta[i-1], d.delta[i] = d.delta[i], d.delta[i-1]
+	}
+	if len(d.delta) >= d.thresh {
+		d.Merge()
+	}
+}
+
+// Merge merges the buffer into the base array and retrains the RMI.
+func (d *DeltaIndex) Merge() {
+	if len(d.delta) == 0 {
+		return
+	}
+	merged := make([]uint64, 0, len(d.base)+len(d.delta))
+	i, j := 0, 0
+	for i < len(d.base) && j < len(d.delta) {
+		if d.base[i] <= d.delta[j] {
+			merged = append(merged, d.base[i])
+			i++
+		} else {
+			merged = append(merged, d.delta[j])
+			j++
+		}
+	}
+	merged = append(merged, d.base[i:]...)
+	merged = append(merged, d.delta[j:]...)
+	// Drop duplicates introduced by repeated inserts.
+	dst := merged[:0]
+	var prev uint64
+	for k, v := range merged {
+		if k == 0 || v != prev {
+			dst = append(dst, v)
+			prev = v
+		}
+	}
+	d.base = dst
+	d.delta = d.delta[:0]
+	d.rmi = New(d.base, d.cfg)
+	d.merges++
+}
+
+// Contains reports whether key is present in the base array or the buffer.
+func (d *DeltaIndex) Contains(key uint64) bool {
+	if d.rmi.Contains(key) {
+		return true
+	}
+	p := search.Binary(d.delta, key, 0, len(d.delta))
+	return p < len(d.delta) && d.delta[p] == key
+}
+
+// Count returns the number of keys k in [lo, hi) across both views.
+func (d *DeltaIndex) Count(lo, hi uint64) int {
+	s, e := d.rmi.RangeScan(lo, hi)
+	ds := search.Binary(d.delta, lo, 0, len(d.delta))
+	de := search.Binary(d.delta, hi, 0, len(d.delta))
+	return (e - s) + (de - ds)
+}
+
+// Len returns the total number of keys.
+func (d *DeltaIndex) Len() int { return len(d.base) + len(d.delta) }
+
+// Merges returns how many merge+retrain cycles have run.
+func (d *DeltaIndex) Merges() int { return d.merges }
+
+// BufferLen returns the current insert-buffer size.
+func (d *DeltaIndex) BufferLen() int { return len(d.delta) }
+
+// RMI returns the current trained index (replaced on every merge).
+func (d *DeltaIndex) RMI() *RMI { return d.rmi }
+
+// Keys returns a sorted snapshot of all keys (allocates; for tests).
+func (d *DeltaIndex) Keys() []uint64 {
+	out := make([]uint64, 0, d.Len())
+	out = append(out, d.base...)
+	out = append(out, d.delta...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

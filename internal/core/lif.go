@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The Learning Index Framework (LIF, §3.1) "generates different index
+// configurations, optimizes them, and tests them automatically". The paper
+// tunes "the various parameters of the model (i.e., number of stages,
+// hidden layers per model, etc.) with a simple grid-search" (§3.3).
+//
+// GridSearch trains every candidate configuration, measures average lookup
+// latency over a probe workload and the index footprint, and ranks by a
+// configurable objective.
+
+// Candidate is one grid point.
+type Candidate struct {
+	Config Config
+	Label  string
+}
+
+// TunedResult is one trained-and-measured grid point.
+type TunedResult struct {
+	Candidate Candidate
+	RMI       *RMI
+	AvgLookup time.Duration // mean lookup latency over the probe set
+	SizeBytes int
+	MaxAbsErr int
+	Score     float64
+}
+
+// Objective ranks results; lower is better.
+type Objective func(avgLookupNs float64, sizeBytes int, maxErr int) float64
+
+// MinimizeLatency ranks purely by lookup time.
+func MinimizeLatency(avgNs float64, _ int, _ int) float64 { return avgNs }
+
+// LatencyUnderBudget ranks by latency but disqualifies (scores +inf-ish)
+// indexes above the byte budget.
+func LatencyUnderBudget(budget int) Objective {
+	return func(avgNs float64, size int, _ int) float64 {
+		if size > budget {
+			return avgNs * 1e6
+		}
+		return avgNs
+	}
+}
+
+// SpaceTimeProduct ranks by the latency × size product, the balanced view
+// of Figure 4's two headline columns.
+func SpaceTimeProduct(avgNs float64, size int, _ int) float64 {
+	return avgNs * float64(size)
+}
+
+// DefaultGrid returns the paper's §3.7.1 search space: "simple grid-search
+// over neural nets with zero to two hidden layers and layer-width ranging
+// from 4 to 32 nodes" crossed with second-stage sizes, plus the
+// multivariate top of Figure 5.
+func DefaultGrid(leafCounts []int) []Candidate {
+	var out []Candidate
+	tops := []struct {
+		kind   TopKind
+		hidden []int
+		name   string
+	}{
+		{TopLinear, nil, "linear"},
+		{TopMultivariate, nil, "multivariate"},
+		{TopNN, []int{8}, "nn[8]"},
+		{TopNN, []int{16}, "nn[16]"},
+		{TopNN, []int{32}, "nn[32]"},
+		{TopNN, []int{16, 16}, "nn[16,16]"},
+		{TopNN, []int{32, 32}, "nn[32,32]"},
+	}
+	for _, t := range tops {
+		for _, lc := range leafCounts {
+			cfg := DefaultConfig(lc)
+			cfg.Top = t.kind
+			cfg.Hidden = t.hidden
+			out = append(out, Candidate{
+				Config: cfg,
+				Label:  fmt.Sprintf("top=%s leaves=%d", t.name, lc),
+			})
+		}
+	}
+	return out
+}
+
+// GridSearch trains every candidate on keys, measures mean lookup latency
+// over probes, and returns results sorted best-first by the objective.
+func GridSearch(keys []uint64, probes []uint64, cands []Candidate, obj Objective) []TunedResult {
+	if obj == nil {
+		obj = MinimizeLatency
+	}
+	results := make([]TunedResult, 0, len(cands))
+	for _, c := range cands {
+		r := New(keys, c.Config)
+		avg := measureLookup(r, probes)
+		tr := TunedResult{
+			Candidate: c,
+			RMI:       r,
+			AvgLookup: avg,
+			SizeBytes: r.SizeBytes(),
+			MaxAbsErr: r.MaxAbsErr(),
+		}
+		tr.Score = obj(float64(avg.Nanoseconds()), tr.SizeBytes, tr.MaxAbsErr)
+		results = append(results, tr)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score < results[j].Score })
+	return results
+}
+
+// measureLookup times Lookup over the probe set and returns the mean.
+func measureLookup(r *RMI, probes []uint64) time.Duration {
+	if len(probes) == 0 {
+		return 0
+	}
+	var sink int
+	start := time.Now()
+	for _, p := range probes {
+		sink += r.Lookup(p)
+	}
+	el := time.Since(start)
+	_ = sink
+	return el / time.Duration(len(probes))
+}

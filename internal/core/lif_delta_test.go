@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+func TestGridSearchRanksAndTrains(t *testing.T) {
+	keys := data.Lognormal(20_000, 0, 2, 1_000_000_000, 1)
+	probes := data.SampleExisting(keys, 2000, 2)
+	cands := []Candidate{
+		{Config: DefaultConfig(20), Label: "leaves=20"},
+		{Config: DefaultConfig(400), Label: "leaves=400"},
+	}
+	res := GridSearch(keys, probes, cands, MinimizeLatency)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Score < res[j].Score }) {
+		t.Fatal("results not sorted by score")
+	}
+	for _, r := range res {
+		for _, p := range probes[:100] {
+			if got, want := r.RMI.Lookup(p), oracle(keys, p); got != want {
+				t.Fatalf("%s: wrong lookup", r.Candidate.Label)
+			}
+		}
+	}
+}
+
+func TestGridObjectives(t *testing.T) {
+	if MinimizeLatency(100, 1<<30, 5) != 100 {
+		t.Fatal("MinimizeLatency should ignore size")
+	}
+	under := LatencyUnderBudget(1000)
+	if under(100, 500, 0) != 100 {
+		t.Fatal("within budget should score latency")
+	}
+	if under(100, 5000, 0) <= under(100, 500, 0) {
+		t.Fatal("over budget must be penalized")
+	}
+	if SpaceTimeProduct(10, 10, 0) != 100 {
+		t.Fatal("product objective wrong")
+	}
+}
+
+func TestDefaultGridShape(t *testing.T) {
+	g := DefaultGrid([]int{100, 1000})
+	if len(g) != 7*2 {
+		t.Fatalf("grid size %d, want 14", len(g))
+	}
+	for _, c := range g {
+		if c.Label == "" || len(c.Config.StageSizes) != 1 {
+			t.Fatalf("malformed candidate %+v", c)
+		}
+	}
+}
+
+func TestDeltaIndexAppendWorkload(t *testing.T) {
+	// The Appendix D.1 append case: timestamps arriving in order.
+	keys := data.Weblogs(10_000, 1)
+	half := keys[:5000]
+	d := NewDelta(append([]uint64{}, half...), DefaultConfig(64), 1000)
+	for _, k := range keys[5000:] {
+		d.Insert(k)
+	}
+	if d.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(keys))
+	}
+	if d.Merges() == 0 {
+		t.Fatal("expected at least one merge")
+	}
+	for _, k := range keys {
+		if !d.Contains(k) {
+			t.Fatalf("missing %d after inserts", k)
+		}
+	}
+}
+
+func TestDeltaIndexMidInserts(t *testing.T) {
+	base := data.Dense(2000, 0, 10) // 0, 10, 20, ...
+	d := NewDelta(append([]uint64{}, base...), DefaultConfig(16), 500)
+	// Insert keys in the middle of existing ranges.
+	for i := uint64(0); i < 1200; i++ {
+		d.Insert(i*10 + 5)
+	}
+	for i := uint64(0); i < 1200; i++ {
+		if !d.Contains(i*10 + 5) {
+			t.Fatalf("missing mid-insert %d", i*10+5)
+		}
+	}
+	for _, k := range base[:100] {
+		if !d.Contains(k) {
+			t.Fatalf("lost base key %d", k)
+		}
+	}
+}
+
+func TestDeltaIndexCount(t *testing.T) {
+	d := NewDelta([]uint64{10, 20, 30, 40}, DefaultConfig(4), 100)
+	d.Insert(25)
+	d.Insert(35)
+	if got := d.Count(20, 40); got != 4 { // 20, 25, 30, 35
+		t.Fatalf("Count(20,40) = %d, want 4", got)
+	}
+}
+
+func TestDeltaIndexDuplicateInserts(t *testing.T) {
+	d := NewDelta([]uint64{1, 2, 3}, DefaultConfig(4), 4)
+	d.Insert(2)
+	d.Insert(2)
+	d.Insert(2)
+	d.Insert(2) // triggers merge at threshold 4
+	if d.Merges() == 0 {
+		t.Fatal("expected merge")
+	}
+	ks := d.Keys()
+	for i := 1; i < len(ks); i++ {
+		if ks[i] == ks[i-1] {
+			t.Fatal("merge left duplicates")
+		}
+	}
+}
+
+func TestNaiveIndexCorrect(t *testing.T) {
+	keys := data.Lognormal(5000, 0, 2, 1_000_000_000, 1)
+	ni := NewNaive(keys, 1)
+	probes := append(data.SampleExisting(keys, 300, 2), data.SampleMissing(keys, 100, 3)...)
+	for _, p := range probes {
+		want := oracle(keys, p)
+		if got := ni.Lookup(p); got != want {
+			t.Fatalf("naive Lookup(%d) = %d, want %d", p, got, want)
+		}
+		if got := ni.LookupNative(p); got != want {
+			t.Fatalf("naive native Lookup(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestNaiveInterpretedMatchesNative(t *testing.T) {
+	keys := data.Lognormal(3000, 0, 2, 1_000_000_000, 1)
+	ni := NewNaive(keys, 1)
+	for _, k := range keys[:200] {
+		if ni.PredictInterpreted(k) != ni.PredictNative(k) {
+			t.Fatal("graph interpreter diverges from native execution")
+		}
+	}
+	if ni.GraphNodes() < 8 {
+		t.Fatalf("graph too small: %d nodes", ni.GraphNodes())
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"learnedindex/internal/ml"
+	"learnedindex/internal/search"
+)
+
+// NaiveIndex reproduces §2.3's first attempt: one two-layer, 32-wide
+// fully-connected ReLU network over the whole dataset, executed through a
+// dataflow-graph interpreter (the Tensorflow stand-in), with no error
+// bounds — the residual is corrected by a whole-array search around the
+// prediction.
+//
+// The experiment's three lessons (framework invocation overhead, last-mile
+// accuracy, cache efficiency) motivate the RMI; BenchmarkNaive* measures
+// the same three-way comparison as the paper: naïve model ≫ B-Tree >
+// binary search.
+type NaiveIndex struct {
+	keys  []uint64
+	nn    *ml.NN
+	graph *ml.Graph
+}
+
+// NewNaive trains the §2.3 network ("two-layer fully-connected neural
+// network with 32 neurons per layer using ReLU activation functions") over
+// keys and lowers it into the interpreted graph.
+func NewNaive(keys []uint64, seed int64) *NaiveIndex {
+	xs := make([]float64, len(keys))
+	ys := make([]float64, len(keys))
+	for i, k := range keys {
+		xs[i] = float64(k)
+		ys[i] = float64(i)
+	}
+	cfg := ml.DefaultNNConfig(32, 32)
+	cfg.Seed = seed
+	nn := ml.TrainNN(xs, ys, cfg)
+	return &NaiveIndex{keys: keys, nn: nn, graph: ml.NewGraphFromNN(nn)}
+}
+
+// PredictInterpreted runs the model through the graph interpreter — the
+// quantity §2.3 times at ~80µs under Tensorflow+Python.
+func (ni *NaiveIndex) PredictInterpreted(key uint64) int {
+	return clampInt(int(ni.graph.Run(float64(key))), 0, len(ni.keys)-1)
+}
+
+// PredictNative runs the same weights natively — the LIF execution mode
+// (§3.1, "we are able to execute simple models on the order of 30
+// nano-seconds").
+func (ni *NaiveIndex) PredictNative(key uint64) int {
+	return clampInt(int(ni.nn.Predict(float64(key))), 0, len(ni.keys)-1)
+}
+
+// Lookup performs the full naïve lookup: interpreted model execution plus
+// exponential search from the prediction (no stored error bounds).
+func (ni *NaiveIndex) Lookup(key uint64) int {
+	pred := ni.PredictInterpreted(key)
+	return search.Exponential(ni.keys, key, len(ni.keys), pred)
+}
+
+// LookupNative is Lookup with native model execution.
+func (ni *NaiveIndex) LookupNative(key uint64) int {
+	pred := ni.PredictNative(key)
+	return search.Exponential(ni.keys, key, len(ni.keys), pred)
+}
+
+// Contains reports whether key is stored.
+func (ni *NaiveIndex) Contains(key uint64) bool {
+	p := ni.Lookup(key)
+	return p < len(ni.keys) && ni.keys[p] == key
+}
+
+// GraphNodes returns the interpreted graph's op count.
+func (ni *NaiveIndex) GraphNodes() int { return ni.graph.NumNodes() }
+
+// SizeBytes returns the network footprint.
+func (ni *NaiveIndex) SizeBytes() int { return ni.nn.SizeBytes() }

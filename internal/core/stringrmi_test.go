@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+func stringOracle(keys []string, k string) int {
+	return sort.SearchStrings(keys, k)
+}
+
+func stringProbes(keys data.StringKeys) []string {
+	probes := data.SampleExistingStrings(keys, 2000, 2)
+	// Mutations that are unlikely to be stored.
+	for _, k := range keys[:200] {
+		probes = append(probes, k+"z", k[:len(k)-1])
+	}
+	return append(probes, "", "zzzzzzzzzzzzzz", keys[0], keys[len(keys)-1])
+}
+
+func TestStringRMILookupMatchesOracle(t *testing.T) {
+	keys := data.DocIDs(20_000, 1)
+	for _, hidden := range [][]int{nil, {16}, {16, 16}} {
+		cfg := DefaultStringConfig(200, hidden...)
+		r := NewString(keys, cfg)
+		for _, p := range stringProbes(keys) {
+			want := stringOracle(keys, p)
+			if got := r.Lookup(p); got != want {
+				t.Fatalf("hidden=%v: Lookup(%q) = %d, want %d", hidden, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStringRMISearchStrategies(t *testing.T) {
+	keys := data.DocIDs(15_000, 1)
+	for _, s := range []SearchKind{SearchModelBiased, SearchBinary, SearchQuaternary} {
+		cfg := DefaultStringConfig(150, 16)
+		cfg.Search = s
+		r := NewString(keys, cfg)
+		for _, p := range stringProbes(keys) {
+			want := stringOracle(keys, p)
+			if got := r.Lookup(p); got != want {
+				t.Fatalf("search=%v: Lookup(%q) = %d, want %d", s, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStringRMIHybrid(t *testing.T) {
+	keys := data.DocIDs(15_000, 1)
+	cfg := DefaultStringConfig(100, 16)
+	cfg.HybridThreshold = 16
+	r := NewString(keys, cfg)
+	if r.NumHybrid() == 0 {
+		t.Skip("no leaf exceeded the threshold on this seed; nothing to verify")
+	}
+	for _, p := range stringProbes(keys) {
+		want := stringOracle(keys, p)
+		if got := r.Lookup(p); got != want {
+			t.Fatalf("hybrid string Lookup(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestStringRMIContains(t *testing.T) {
+	keys := data.DocIDs(10_000, 1)
+	r := NewString(keys, DefaultStringConfig(100))
+	for _, k := range keys[:300] {
+		if !r.Contains(k) {
+			t.Fatalf("missing %q", k)
+		}
+		if r.Contains(k + "x") {
+			t.Fatalf("phantom %q", k+"x")
+		}
+	}
+}
+
+func TestStringRMIErrorWindowHolds(t *testing.T) {
+	keys := data.DocIDs(10_000, 1)
+	r := NewString(keys, DefaultStringConfig(100, 16))
+	for i, k := range keys {
+		_, lo, hi := r.Predict(k)
+		if i < lo || i >= hi {
+			t.Fatalf("key %q at %d outside window [%d,%d)", k, i, lo, hi)
+		}
+	}
+}
+
+func TestStringRMIEmptyAndTiny(t *testing.T) {
+	r := NewString(nil, DefaultStringConfig(4))
+	if r.Lookup("x") != 0 {
+		t.Fatal("empty lookup")
+	}
+	r = NewString([]string{"m"}, DefaultStringConfig(4))
+	if r.Lookup("a") != 0 || r.Lookup("m") != 0 || r.Lookup("z") != 1 {
+		t.Fatal("single-key string lookups wrong")
+	}
+}
+
+func TestPrefixScalarMonotone(t *testing.T) {
+	keys := data.DocIDs(5000, 1)
+	for i := 1; i < len(keys); i++ {
+		a, b := PrefixScalar(keys[i-1]), PrefixScalar(keys[i])
+		if a > b {
+			t.Fatalf("prefix scalar not monotone: %q -> %v, %q -> %v", keys[i-1], a, keys[i], b)
+		}
+	}
+}
+
+func TestVectorize(t *testing.T) {
+	dst := make([]float64, 6)
+	Vectorize("AB", dst)
+	want := []float64{65, 66, 0, 0, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Vectorize = %v", dst)
+		}
+	}
+}
+
+func TestStringRMISizeSmallerThanBTreeSeparators(t *testing.T) {
+	// The Figure 6 size story: the learned index (10k leaves on 10M keys)
+	// is smaller than a page-32 string B-Tree's separators.
+	keys := data.DocIDs(30_000, 1)
+	r := NewString(keys, DefaultStringConfig(len(keys)/100, 16))
+	// 30k keys / page 32 ≈ 940 separators × 30 bytes ≈ 28KB vs RMI ~8.4KB+NN
+	if r.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	t.Logf("string RMI size: %d bytes, max err %d, mean err %.1f",
+		r.SizeBytes(), r.MaxAbsErr(), r.MeanAbsErr())
+}

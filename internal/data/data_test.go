@@ -1,0 +1,293 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func checkSortedUnique(t *testing.T, ks Keys, wantLen int) {
+	t.Helper()
+	if len(ks) != wantLen {
+		t.Fatalf("got %d keys, want %d", len(ks), wantLen)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("keys not strictly increasing at %d: %d <= %d", i, ks[i], ks[i-1])
+		}
+	}
+}
+
+func TestLognormalSortedUnique(t *testing.T) {
+	ks := Lognormal(50_000, 0, 2, 1_000_000_000, 1)
+	checkSortedUnique(t, ks, 50_000)
+}
+
+func TestLognormalScale(t *testing.T) {
+	ks := Lognormal(50_000, 0, 2, 1_000_000_000, 1)
+	if ks[len(ks)-1] > 1_000_000_000 {
+		t.Fatalf("max key %d exceeds 1B scale", ks[len(ks)-1])
+	}
+	if ks[len(ks)-1] < 100_000_000 {
+		t.Fatalf("max key %d suspiciously far below the scale target", ks[len(ks)-1])
+	}
+}
+
+func TestLognormalHeavyTail(t *testing.T) {
+	// A lognormal with sigma=2 is heavily skewed: the median should be tiny
+	// relative to the max.
+	ks := Lognormal(50_000, 0, 2, 1_000_000_000, 1)
+	median := ks[len(ks)/2]
+	if float64(median) > 0.05*float64(ks[len(ks)-1]) {
+		t.Fatalf("median %d too close to max %d: not heavy-tailed", median, ks[len(ks)-1])
+	}
+}
+
+func TestLognormalDeterministic(t *testing.T) {
+	a := Lognormal(10_000, 0, 2, 1_000_000_000, 7)
+	b := Lognormal(10_000, 0, 2, 1_000_000_000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMapsSortedUnique(t *testing.T) {
+	ks := Maps(50_000, 1)
+	checkSortedUnique(t, ks, 50_000)
+}
+
+func TestMapsRange(t *testing.T) {
+	const n = 50_000
+	ks := Maps(n, 1)
+	// longitudes in [-180, 180) at resolution n/20 per degree ⇒ domain 18n.
+	if ks[len(ks)-1] >= 18*n {
+		t.Fatalf("key out of longitude domain: %d >= %d", ks[len(ks)-1], 18*n)
+	}
+}
+
+func TestMapsClustering(t *testing.T) {
+	// The Europe band (~8°) should be denser than the mid-Atlantic (~-40°).
+	const n = 100_000
+	ks := Maps(n, 1)
+	res := float64(n) / 20
+	countIn := func(lo, hi float64) int {
+		a := ks.LowerBound(uint64((lo + 180) * res))
+		b := ks.LowerBound(uint64((hi + 180) * res))
+		return b - a
+	}
+	europe := countIn(0, 16)
+	ocean := countIn(-48, -32)
+	if europe < 2*ocean || europe == 0 {
+		t.Fatalf("expected Europe band (%d) denser than ocean band (%d)", europe, ocean)
+	}
+}
+
+func TestMapsDenseRuns(t *testing.T) {
+	// City saturation must produce runs of consecutive grid integers — the
+	// structure behind Figure 8's conflict reduction.
+	ks := Maps(100_000, 1)
+	consecutive := 0
+	for i := 1; i < len(ks); i++ {
+		if ks[i] == ks[i-1]+1 {
+			consecutive++
+		}
+	}
+	if frac := float64(consecutive) / float64(len(ks)); frac < 0.10 {
+		t.Fatalf("only %.1f%% of keys in consecutive runs; city clustering too weak", frac*100)
+	}
+}
+
+func TestWeblogsDenseRuns(t *testing.T) {
+	// Busy-period saturation: a visible fraction of adjacent-second keys.
+	ks := Weblogs(100_000, 1)
+	consecutive := 0
+	for i := 1; i < len(ks); i++ {
+		if ks[i] == ks[i-1]+1 {
+			consecutive++
+		}
+	}
+	if frac := float64(consecutive) / float64(len(ks)); frac < 0.10 {
+		t.Fatalf("only %.1f%% adjacent-second keys; saturation too weak", frac*100)
+	}
+}
+
+func TestLognormalPaperProcess(t *testing.T) {
+	const n = 50_000
+	ks := LognormalPaper(n, 1)
+	if len(ks) != n {
+		t.Fatalf("got %d keys", len(ks))
+	}
+	for i := 1; i < n; i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatal("not strictly increasing")
+		}
+	}
+	// The scale solver picks the TIGHTEST integer scale, so the head of
+	// the distribution must be dedup-saturated: a visible fraction of
+	// consecutive-integer keys (the sub-Poisson regularization that powers
+	// the Figure 8 lognormal row).
+	consecutive := 0
+	for i := 1; i < n; i++ {
+		if ks[i] == ks[i-1]+1 {
+			consecutive++
+		}
+	}
+	if frac := float64(consecutive) / float64(n); frac < 0.05 {
+		t.Fatalf("only %.1f%% consecutive keys; scale not tight", frac*100)
+	}
+	// Heavy tail must survive: median far below max.
+	if float64(ks[n/2]) > 0.05*float64(ks[n-1]) {
+		t.Fatal("tail lost")
+	}
+}
+
+func TestWeblogsSortedUnique(t *testing.T) {
+	ks := Weblogs(50_000, 1)
+	checkSortedUnique(t, ks, len(ks))
+	if len(ks) < 45_000 {
+		t.Fatalf("weblogs generated too few keys: %d", len(ks))
+	}
+}
+
+func TestWeblogsIrregularCDF(t *testing.T) {
+	// The weblog CDF must be much rougher than the maps CDF: compare the
+	// max deviation from a straight line between endpoints.
+	dev := func(ks Keys) float64 {
+		lo, hi := float64(ks[0]), float64(ks[len(ks)-1])
+		max := 0.0
+		for i, k := range ks {
+			ideal := (float64(k) - lo) / (hi - lo)
+			actual := float64(i) / float64(len(ks))
+			d := math.Abs(ideal - actual)
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	web := dev(Weblogs(40_000, 1))
+	if web < 0.005 {
+		t.Fatalf("weblogs CDF too smooth (max dev %.4f); generator lost its irregularity", web)
+	}
+}
+
+func TestDense(t *testing.T) {
+	ks := Dense(100, 1_000_000, 3)
+	checkSortedUnique(t, ks, 100)
+	if ks[0] != 1_000_000 || ks[99] != 1_000_000+99*3 {
+		t.Fatalf("dense endpoints wrong: %d %d", ks[0], ks[99])
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ks := Uniform(10_000, 1<<40, 3)
+	checkSortedUnique(t, ks, 10_000)
+	if ks[len(ks)-1] >= 1<<40 {
+		t.Fatal("key exceeds max")
+	}
+}
+
+func TestLowerBoundAndContains(t *testing.T) {
+	ks := Keys{10, 20, 30, 40}
+	cases := []struct {
+		k    uint64
+		want int
+	}{{5, 0}, {10, 0}, {15, 1}, {40, 3}, {45, 4}}
+	for _, c := range cases {
+		if got := ks.LowerBound(c.k); got != c.want {
+			t.Errorf("LowerBound(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	if !ks.Contains(30) || ks.Contains(35) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSampleExisting(t *testing.T) {
+	ks := Lognormal(10_000, 0, 2, 1_000_000_000, 1)
+	probes := SampleExisting(ks, 5000, 2)
+	if len(probes) != 5000 {
+		t.Fatalf("got %d probes", len(probes))
+	}
+	for _, p := range probes {
+		if !ks.Contains(p) {
+			t.Fatalf("probe %d not in key set", p)
+		}
+	}
+}
+
+func TestSampleMissing(t *testing.T) {
+	ks := Lognormal(10_000, 0, 2, 1_000_000_000, 1)
+	probes := SampleMissing(ks, 1000, 2)
+	for _, p := range probes {
+		if ks.Contains(p) {
+			t.Fatalf("missing probe %d is actually present", p)
+		}
+	}
+}
+
+func TestDocIDsSortedUnique(t *testing.T) {
+	ks := DocIDs(20_000, 1)
+	if len(ks) != 20_000 {
+		t.Fatalf("got %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("doc ids not strictly increasing at %d: %q <= %q", i, ks[i], ks[i-1])
+		}
+	}
+}
+
+func TestDocIDsShape(t *testing.T) {
+	ks := DocIDs(1000, 1)
+	for _, k := range ks {
+		if len(k) != 14 || k[0] != 'd' || k[3] != '-' {
+			t.Fatalf("malformed doc id %q", k)
+		}
+	}
+}
+
+func TestStringLowerBound(t *testing.T) {
+	ks := StringKeys{"apple", "banana", "cherry"}
+	if ks.LowerBound("b") != 1 || ks.LowerBound("banana") != 1 || ks.LowerBound("zzz") != 3 {
+		t.Fatal("string lower bound wrong")
+	}
+	if !ks.Contains("banana") || ks.Contains("bananas") {
+		t.Fatal("string contains wrong")
+	}
+}
+
+func TestURLCorpus(t *testing.T) {
+	c := URLs(2000, 3000, 1)
+	if len(c.Keys) != 2000 {
+		t.Fatalf("got %d keys", len(c.Keys))
+	}
+	if len(c.TrainNeg)+len(c.ValidNeg)+len(c.TestNeg) != 3000 {
+		t.Fatalf("negative split sizes wrong: %d/%d/%d", len(c.TrainNeg), len(c.ValidNeg), len(c.TestNeg))
+	}
+	// Keys and non-keys must be disjoint.
+	keySet := make(map[string]struct{}, len(c.Keys))
+	for _, k := range c.Keys {
+		keySet[k] = struct{}{}
+	}
+	for _, lists := range [][]string{c.TrainNeg, c.ValidNeg, c.TestNeg} {
+		for _, s := range lists {
+			if _, ok := keySet[s]; ok {
+				t.Fatalf("non-key %q also a key", s)
+			}
+		}
+	}
+}
+
+func TestURLCorpusSeparable(t *testing.T) {
+	// Phishing URLs use http://, benign use https:// in this generator —
+	// plus token-level differences. Verify at least the scheme split so the
+	// classifier task is well-posed.
+	c := URLs(500, 500, 1)
+	for _, k := range c.Keys {
+		if len(k) < 7 || k[:7] != "http://" {
+			t.Fatalf("phishing URL %q missing http:// scheme", k)
+		}
+	}
+}

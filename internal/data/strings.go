@@ -1,0 +1,196 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StringKeys is a sorted slice of unique string keys.
+type StringKeys []string
+
+// LowerBound returns the index of the first key >= k.
+func (ks StringKeys) LowerBound(k string) int {
+	return sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+}
+
+// Contains reports whether k is one of the keys.
+func (ks StringKeys) Contains(k string) bool {
+	i := ks.LowerBound(k)
+	return i < len(ks) && ks[i] == k
+}
+
+// DocIDs returns n unique synthetic document-id strings modeled on the
+// paper's §3.7.2 dataset: "10M non-continuous document-ids of a large web
+// index". Real doc-ids are structured: a shard/cluster prefix followed by a
+// non-continuous numeric or base-36 suffix. The generator draws a cluster
+// prefix from a skewed distribution and a sparse suffix, so the
+// lexicographic CDF has the heavy prefix-clustering learned string models
+// must capture.
+func DocIDs(n int, seed int64) StringKeys {
+	rng := rand.New(rand.NewSource(seed))
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	// Skewed cluster popularity: Zipf over 64 clusters.
+	z := rand.NewZipf(rng, 1.3, 1.0, 63)
+	seen := make(map[string]struct{}, n)
+	keys := make([]string, 0, n)
+	for len(keys) < n {
+		cluster := z.Uint64()
+		// Non-continuous id: random 10-char base-36 with sparse leading digit
+		// structure (ids are allocated in bursts, leaving gaps).
+		var b [14]byte
+		b[0] = 'd'
+		b[1] = digits[cluster/36%36]
+		b[2] = digits[cluster%36]
+		b[3] = '-'
+		burst := rng.Intn(1 << 20) // burst base
+		for i := 0; i < 5; i++ {
+			b[4+i] = digits[burst%36]
+			burst /= 36
+		}
+		tail := rng.Intn(1 << 24)
+		for i := 0; i < 5; i++ {
+			b[9+i] = digits[tail%36]
+			tail /= 36
+		}
+		s := string(b[:])
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	return StringKeys(keys)
+}
+
+// SampleExistingStrings returns m keys drawn uniformly from ks in random
+// order.
+func SampleExistingStrings(ks StringKeys, m int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, m)
+	for i := range out {
+		out[i] = ks[rng.Intn(len(ks))]
+	}
+	return out
+}
+
+// URLCorpus is the phishing-URL workload of §5.2: a key set of blacklisted
+// (phishing) URLs and a non-key set that mixes random valid URLs with
+// whitelisted URLs "that could be mistaken for phishing pages", split into
+// train/validation/test.
+type URLCorpus struct {
+	Keys []string // blacklisted URLs (the set the filter must contain)
+
+	TrainNeg []string // non-keys for model training
+	ValidNeg []string // non-keys for threshold tuning
+	TestNeg  []string // non-keys for reporting FPR
+}
+
+var brands = []string{
+	"paypal", "apple", "google", "amazon", "microsoft", "netflix",
+	"chase", "wellsfargo", "dropbox", "facebook", "instagram", "ebay",
+}
+
+var benignDomains = []string{
+	"example", "wikipedia", "github", "nytimes", "reddit", "stackoverflow",
+	"cnn", "bbc", "arxiv", "acm", "mit", "stanford", "weather", "espn",
+}
+
+var tlds = []string{".com", ".net", ".org", ".io", ".info", ".biz", ".xyz", ".top"}
+var phishTlds = []string{".xyz", ".top", ".info", ".biz", ".club", ".online", ".site"}
+var phishWords = []string{"login", "secure", "verify", "account", "update", "signin", "confirm", "webscr", "billing", "support"}
+
+func randToken(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// phishURL generates a phishing-style URL: brand name embedded in a
+// suspicious host (hyphens, digit substitutions, odd TLD) plus a
+// credential-harvesting path.
+func phishURL(rng *rand.Rand) string {
+	brand := brands[rng.Intn(len(brands))]
+	if rng.Intn(3) == 0 { // leetspeak substitution
+		sub := map[byte]byte{'a': '4', 'e': '3', 'o': '0', 'l': '1', 'i': '1'}
+		b := []byte(brand)
+		for i := range b {
+			if r, ok := sub[b[i]]; ok && rng.Intn(2) == 0 {
+				b[i] = r
+			}
+		}
+		brand = string(b)
+	}
+	w1 := phishWords[rng.Intn(len(phishWords))]
+	tld := phishTlds[rng.Intn(len(phishTlds))]
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("http://%s-%s.%s%s/%s", brand, w1, randToken(rng, 6), tld, randToken(rng, 8))
+	case 1:
+		return fmt.Sprintf("http://%s.%s-%s%s/%s/%s", w1, brand, randToken(rng, 4), tld, w1, randToken(rng, 10))
+	case 2:
+		return fmt.Sprintf("http://%s%s/%s.%s/%s", randToken(rng, 10), tld, brand, w1, randToken(rng, 12))
+	default:
+		return fmt.Sprintf("http://%s-%s-%s%s/%s", w1, brand, randToken(rng, 5), tld, randToken(rng, 6))
+	}
+}
+
+// benignURL generates a valid non-phishing URL.
+func benignURL(rng *rand.Rand) string {
+	d := benignDomains[rng.Intn(len(benignDomains))]
+	tld := tlds[rng.Intn(3)] // benign sites concentrate on .com/.net/.org
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("https://www.%s%s/%s", d, tld, randToken(rng, 8))
+	case 1:
+		return fmt.Sprintf("https://%s%s/%s/%s", d, tld, randToken(rng, 5), randToken(rng, 7))
+	default:
+		return fmt.Sprintf("https://%s.%s%s/", randToken(rng, 4), d, tld)
+	}
+}
+
+// lookalikeURL generates a whitelisted URL that "could be mistaken for a
+// phishing page": a legitimate brand domain with login-ish paths.
+func lookalikeURL(rng *rand.Rand) string {
+	brand := brands[rng.Intn(len(brands))]
+	w := phishWords[rng.Intn(len(phishWords))]
+	return fmt.Sprintf("https://%s.com/%s/%s", brand, w, randToken(rng, 6))
+}
+
+// URLs builds a URL corpus with nKeys phishing keys and nNeg non-keys
+// (half random valid URLs, half whitelisted lookalikes), with the negative
+// set split randomly into train/validation/test as in §5.2.
+func URLs(nKeys, nNeg int, seed int64) *URLCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]struct{}, nKeys+nNeg)
+	unique := func(gen func(*rand.Rand) string) string {
+		for {
+			s := gen(rng)
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				return s
+			}
+		}
+	}
+	c := &URLCorpus{}
+	for i := 0; i < nKeys; i++ {
+		c.Keys = append(c.Keys, unique(phishURL))
+	}
+	neg := make([]string, 0, nNeg)
+	for i := 0; i < nNeg; i++ {
+		if i%2 == 0 {
+			neg = append(neg, unique(benignURL))
+		} else {
+			neg = append(neg, unique(lookalikeURL))
+		}
+	}
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	a := len(neg) * 6 / 10
+	b := len(neg) * 8 / 10
+	c.TrainNeg, c.ValidNeg, c.TestNeg = neg[:a], neg[a:b], neg[b:]
+	return c
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/btree"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/fast"
+	"learnedindex/internal/lookuptable"
+)
+
+// Figure5Row is one alternative-baseline measurement.
+type Figure5Row struct {
+	Name      string
+	Lookup    time.Duration
+	SizeBytes int
+}
+
+// Figure5 reproduces "Alternative Baselines" (§3.7.1): on the Lognormal
+// dataset, a hierarchical lookup table with branch-free scan, a FAST-like
+// SIMD tree, a fixed-size B-Tree with interpolation search, and the
+// multivariate learned index (2-stage RMI, multivariate top, linear
+// leaves), all "under fair conditions".
+//
+// The fixed-size B-Tree's budget is set to the learned index's size, as in
+// the paper ("The B-Tree height is set, so that the total size of the tree
+// is 1.5MB, similar to our learned model").
+func Figure5(o Options) []Figure5Row {
+	o = o.withDefaults()
+	keys := cachedKeys("lognormal", o.N, o.Seed, func() data.Keys { return data.LognormalPaper(o.N, o.Seed) })
+	probes := data.SampleExisting(keys, o.Probes, o.Seed+1)
+
+	// Multivariate learned index first: its size sets the B-Tree budget.
+	cfg := core.DefaultConfig(o.N / 500)
+	cfg.Top = core.TopMultivariate
+	cfg.Seed = o.Seed
+	rmi := core.New(keys, cfg)
+
+	lut := lookuptable.New(keys)
+	ft := fast.New(keys)
+	fb := btree.NewFixedSize(keys, rmi.SizeBytes())
+
+	rows := []Figure5Row{
+		{"Lookup Table w/ branch-free scan", bench.TimeLookups(probes, o.Rounds, lut.Lookup), lut.SizeBytes()},
+		{"FAST", bench.TimeLookups(probes, o.Rounds, ft.Lookup), ft.SizeBytes()},
+		{"Fixed-Size BTree w/ interpol. search", bench.TimeLookups(probes, o.Rounds, fb.Lookup), fb.SizeBytes()},
+		{"Multivariate Learned Index", bench.TimeLookups(probes, o.Rounds, rmi.Lookup), rmi.SizeBytes()},
+	}
+
+	if o.Out != nil {
+		t := &bench.Table{
+			Title:   "Figure 5 — Alternative Baselines (Lognormal)",
+			Headers: []string{"", "Lookup Table", "FAST", "Fixed-Size BTree+interp", "Multivariate Learned"},
+		}
+		t.Add("Time (ns)", ns(rows[0].Lookup), ns(rows[1].Lookup), ns(rows[2].Lookup), ns(rows[3].Lookup))
+		t.Add("Size (MB)", bench.MB(rows[0].SizeBytes), bench.MB(rows[1].SizeBytes), bench.MB(rows[2].SizeBytes), bench.MB(rows[3].SizeBytes))
+		render(o, t)
+	}
+	return rows
+}

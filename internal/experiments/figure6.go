@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/btree"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+)
+
+// Figure6Row is one string-index configuration.
+type Figure6Row struct {
+	Config    string
+	SizeBytes int
+	SizeVsRef float64
+	Lookup    time.Duration
+	SpeedUp   float64
+	Model     time.Duration
+	ModelPct  float64
+}
+
+// Figure6 reproduces "String data: Learned Index vs B-Tree" (§3.7.2):
+// string B-Trees at page sizes 32–256, learned indexes with 1 and 2 hidden
+// layers, hybrid indexes at error thresholds 128 and 64, and the best
+// configuration "Learned QS" (1 hidden layer + biased quaternary search).
+// All RMI rows use the paper's 10k-models-on-10M-keys ratio (one leaf per
+// ~1000 keys).
+func Figure6(o Options) []Figure6Row {
+	o = o.withDefaults()
+	keys := data.StringKeys(cachedStrings("docids", o.NStr, o.Seed, func() []string { return data.DocIDs(o.NStr, o.Seed) }))
+	probes := data.SampleExistingStrings(keys, o.Probes/4, o.Seed+1)
+
+	ref := btree.New([]string(keys), 128)
+	refLookup := bench.TimeStringLookups(probes, o.Rounds, ref.Lookup)
+	refSize := ref.SizeBytes()
+
+	leaves := o.NStr / 1000
+	if leaves < 4 {
+		leaves = 4
+	}
+
+	var rows []Figure6Row
+	add := func(name string, size int, lk, model time.Duration) {
+		rows = append(rows, Figure6Row{
+			Config:    name,
+			SizeBytes: size,
+			SizeVsRef: float64(size) / float64(refSize),
+			Lookup:    lk,
+			SpeedUp:   float64(refLookup) / float64(lk),
+			Model:     model,
+			ModelPct:  100 * float64(model) / float64(lk),
+		})
+	}
+
+	for _, ps := range []int{32, 64, 128, 256} {
+		bt := btree.New([]string(keys), ps)
+		lk := bench.TimeStringLookups(probes, o.Rounds, bt.Lookup)
+		share := btreeShare(bt.Height(), ps)
+		add(fmt.Sprintf("Btree page size: %d", ps), bt.SizeBytes(), lk,
+			time.Duration(float64(lk)*share))
+	}
+
+	type rmiSpec struct {
+		name string
+		cfg  core.StringConfig
+	}
+	mk := func(hidden []int, thresh int, search core.SearchKind) core.StringConfig {
+		cfg := core.DefaultStringConfig(leaves, hidden...)
+		cfg.HybridThreshold = thresh
+		cfg.Search = search
+		cfg.Seed = o.Seed
+		return cfg
+	}
+	specs := []rmiSpec{
+		{"Learned Index, 1 hidden layer", mk([]int{16}, 0, core.SearchModelBiased)},
+		{"Learned Index, 2 hidden layers", mk([]int{16, 16}, 0, core.SearchModelBiased)},
+		{"Hybrid Index, t=128, 1 hidden layer", mk([]int{16}, 128, core.SearchModelBiased)},
+		{"Hybrid Index, t=128, 2 hidden layers", mk([]int{16, 16}, 128, core.SearchModelBiased)},
+		{"Hybrid Index, t= 64, 1 hidden layer", mk([]int{16}, 64, core.SearchModelBiased)},
+		{"Hybrid Index, t= 64, 2 hidden layers", mk([]int{16, 16}, 64, core.SearchModelBiased)},
+		{"Learned QS, 1 hidden layer", mk([]int{16}, 0, core.SearchQuaternary)},
+	}
+	for _, s := range specs {
+		r := core.NewString(keys, s.cfg)
+		lk := bench.TimeStringLookups(probes, o.Rounds, r.Lookup)
+		model := bench.TimeStringLookups(probes, o.Rounds, func(k string) int {
+			p, _, _ := r.Predict(k)
+			return p
+		})
+		add(s.name, r.SizeBytes(), lk, model)
+	}
+
+	if o.Out != nil {
+		t := &bench.Table{
+			Title:   fmt.Sprintf("Figure 6 — String data: Learned Index vs B-Tree (N=%d doc-ids)", o.NStr),
+			Headers: []string{"Config", "Size (MB)", "", "Lookup (ns)", "", "Model (ns)", ""},
+		}
+		for _, r := range rows {
+			t.Add(r.Config, bench.MB(r.SizeBytes), bench.Factor(r.SizeVsRef),
+				ns(r.Lookup), bench.Factor(r.SpeedUp), ns(r.Model), fmt.Sprintf("(%.0f%%)", r.ModelPct))
+		}
+		render(o, t)
+	}
+	return rows
+}
+
+// btreeShare approximates the traversal share of a B-Tree lookup from probe
+// counts (levels × log2(fanout) vs the final in-page search).
+func btreeShare(levels, pageSize int) float64 {
+	trav := levels * log2i(pageSize)
+	return float64(trav) / float64(trav+log2i(pageSize))
+}

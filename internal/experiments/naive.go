@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/btree"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/search"
+)
+
+// NaiveRow is one measurement of the §2.3 experiment.
+type NaiveRow struct {
+	Name   string
+	Lookup time.Duration
+}
+
+// Naive reproduces the §2.3 "first, naïve learned index" experiment on the
+// Weblogs dataset: a single two-layer 32-wide network executed through a
+// dataflow-graph interpreter (the Tensorflow+Python stand-in) against a
+// B-Tree traversal and whole-array binary search — plus the same network
+// executed natively, previewing the §3.1 LIF answer.
+//
+// The paper's numbers: ~80,000ns for the interpreted model vs ~300ns B-Tree
+// vs ~900ns binary search. Shape to verify: interpreted model ≫ binary
+// search > B-Tree, and native execution collapses the model cost by orders
+// of magnitude.
+func Naive(o Options) []NaiveRow {
+	o = o.withDefaults()
+	n := o.N
+	if n > 500_000 {
+		n = 500_000 // the naïve index exists to be slow; keep training sane
+	}
+	keys := data.Weblogs(n, o.Seed)
+	probes := data.SampleExisting(keys, o.Probes/10, o.Seed+1)
+
+	ni := core.NewNaive(keys, o.Seed)
+	bt := btree.New([]uint64(keys), 128)
+
+	rows := []NaiveRow{
+		{"Naive learned index (interpreted model, no err bounds)",
+			bench.TimeLookups(probes, 1, ni.Lookup)},
+		{"  ... model execution only (interpreted)",
+			bench.TimeLookups(probes, 1, ni.PredictInterpreted)},
+		{"  ... same weights, native execution (LIF mode)",
+			bench.TimeLookups(probes, o.Rounds, ni.PredictNative)},
+		{"  ... native model + exponential search",
+			bench.TimeLookups(probes, o.Rounds, ni.LookupNative)},
+		{"B-Tree (page 128) traversal",
+			bench.TimeLookups(probes, o.Rounds, bt.Lookup)},
+		{"Binary search over entire array",
+			bench.TimeLookups(probes, o.Rounds, func(k uint64) int {
+				return search.Binary(keys, k, 0, len(keys))
+			})},
+	}
+	if o.Out != nil {
+		t := &bench.Table{
+			Title:   fmt.Sprintf("§2.3 — The naïve learned index (N=%d weblog timestamps)", n),
+			Headers: []string{"Approach", "Time (ns)"},
+		}
+		for _, r := range rows {
+			t.Add(r.Name, ns(r.Lookup))
+		}
+		render(o, t)
+	}
+	return rows
+}

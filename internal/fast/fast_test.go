@@ -1,0 +1,115 @@
+package fast
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"learnedindex/internal/data"
+)
+
+func oracle(keys []uint64, k uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+}
+
+func TestLookupMatchesOracle(t *testing.T) {
+	keys := data.Lognormal(10_000, 0, 2, 1_000_000_000, 1)
+	tr := New(keys)
+	probes := append(data.SampleExisting(keys, 2000, 2), data.SampleMissing(keys, 500, 3)...)
+	probes = append(probes, 0, keys[0], keys[len(keys)-1], keys[len(keys)-1]+1, ^uint64(0))
+	for _, p := range probes {
+		want := oracle(keys, p)
+		if got := tr.Lookup(p); got != want {
+			t.Fatalf("Lookup(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	keys := data.Dense(257, 100, 7)
+	tr := New(keys)
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Fatalf("missing %d", k)
+		}
+		if tr.Contains(k + 1) {
+			t.Fatalf("phantom %d", k+1)
+		}
+	}
+}
+
+func TestPowerOfTwoPadding(t *testing.T) {
+	// FAST pads to a full tree: "always requires to allocate memory in the
+	// power of 2" — n=1025 keys needs a 2047-slot tree.
+	keys := data.Dense(1025, 0, 2)
+	tr := New(keys)
+	want := 2047*8 + 2047*4
+	if tr.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", tr.SizeBytes(), want)
+	}
+	if tr.Levels() != 11 {
+		t.Fatalf("Levels = %d, want 11", tr.Levels())
+	}
+}
+
+func TestPaddingOverheadGrows(t *testing.T) {
+	// Just past a power of two, the padded tree nearly doubles — the reason
+	// Figure 5 reports FAST at 1024MB.
+	atPow := New(data.Dense(1023, 0, 1)).SizeBytes()
+	pastPow := New(data.Dense(1025, 0, 1)).SizeBytes()
+	if pastPow < atPow*18/10 {
+		t.Fatalf("expected ~2x blowup past power of two: %d vs %d", atPow, pastPow)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if New(nil).Lookup(5) != 0 {
+		t.Fatal("empty")
+	}
+	tr := New([]uint64{9})
+	if tr.Lookup(5) != 0 || tr.Lookup(9) != 0 || tr.Lookup(10) != 1 {
+		t.Fatal("single")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(raw []uint64, probe uint64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		keys := raw[:0]
+		var prev uint64
+		for i, k := range raw {
+			if i == 0 || k != prev {
+				keys = append(keys, k)
+				prev = k
+			}
+		}
+		tr := New(keys)
+		return tr.Lookup(probe) == oracle(keys, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxKeyBoundary(t *testing.T) {
+	// Padding uses MaxUint64; a stored MaxUint64 key must still be found.
+	keys := []uint64{1, 2, ^uint64(0)}
+	tr := New(keys)
+	if got := tr.Lookup(^uint64(0)); got != 2 {
+		t.Fatalf("Lookup(max) = %d, want 2", got)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	keys := data.Lognormal(1_000_000, 0, 2, 1_000_000_000, 1)
+	tr := New(keys)
+	probes := data.SampleExisting(keys, 1<<16, 2)
+	b.ResetTimer()
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += tr.Lookup(probes[i&(1<<16-1)])
+	}
+	sink = s
+}
+
+var sink int

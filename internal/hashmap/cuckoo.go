@@ -1,0 +1,185 @@
+package hashmap
+
+import (
+	"errors"
+
+	"learnedindex/internal/hashfn"
+)
+
+// Cuckoo is a bucketized cuckoo hash map with two hash functions and
+// multi-slot buckets, the Appendix C baselines. Two presets exist:
+//
+//   - NewAVXCuckoo: 8 slots per bucket, no stash — the shape of the
+//     Stanford DAWN "AVX cuckoo" [7], which scans a whole bucket per probe
+//     (one SIMD compare on hardware) and achieves 99% utilization.
+//   - NewCommercialCuckoo: 4 slots per bucket plus a stash and full
+//     corner-case handling (duplicate detection, graceful failure), the
+//     "commercially used Cuckoo Hash-map" comparison point, which the paper
+//     measures at roughly half the speed of the tuned one.
+//
+// The value layout is configurable: 8-byte values ("32-bit value" in the
+// paper's Table 1 is a compact payload; we use the 8-byte variant for both
+// and charge the configured width) or full 20-byte records.
+type Cuckoo struct {
+	buckets    [][]cuckooSlot
+	bucketSize int
+	nBuckets   int
+	stash      []Record
+	stashCap   int
+	n          int
+	recBytes   int // charged bytes per record (8+valueBytes)
+	paranoid   bool
+	seed1      uint64
+	seed2      uint64
+}
+
+type cuckooSlot struct {
+	occupied bool
+	rec      Record
+}
+
+// ErrFull is returned when an insert cannot be placed within the kick limit
+// and the stash (if any) is full.
+var ErrFull = errors.New("hashmap: cuckoo table full")
+
+// NewCuckoo creates a cuckoo map with capacity slots total, bucketSize
+// slots per bucket, stashCap stash entries, and recBytes charged per
+// record. paranoid enables the extra corner-case handling of the
+// commercial variant (duplicate checks on every insert).
+func NewCuckoo(capacity, bucketSize, stashCap, recBytes int, paranoid bool) *Cuckoo {
+	if bucketSize < 1 {
+		bucketSize = 1
+	}
+	nBuckets := (capacity + bucketSize - 1) / bucketSize
+	if nBuckets < 2 {
+		nBuckets = 2
+	}
+	c := &Cuckoo{
+		bucketSize: bucketSize,
+		nBuckets:   nBuckets,
+		stashCap:   stashCap,
+		recBytes:   recBytes,
+		paranoid:   paranoid,
+		seed1:      0x9e3779b97f4a7c15,
+		seed2:      0xc2b2ae3d27d4eb4f,
+	}
+	c.buckets = make([][]cuckooSlot, nBuckets)
+	backing := make([]cuckooSlot, nBuckets*bucketSize)
+	for i := range c.buckets {
+		c.buckets[i] = backing[i*bucketSize : (i+1)*bucketSize]
+	}
+	return c
+}
+
+// NewAVXCuckoo returns the tuned preset: 8-slot buckets, no stash, no
+// paranoid checks, sized for ~99% utilization over n records.
+func NewAVXCuckoo(n, valueBytes int) *Cuckoo {
+	return NewCuckoo(n*101/100, 8, 0, 8+valueBytes, false)
+}
+
+// NewCommercialCuckoo returns the conservative preset: 4-slot buckets, a
+// stash, duplicate handling, sized for ~95% utilization.
+func NewCommercialCuckoo(n, valueBytes int) *Cuckoo {
+	return NewCuckoo(n*106/100, 4, 64, 8+valueBytes, true)
+}
+
+func (c *Cuckoo) h1(key uint64) int {
+	return hashfn.Reduce(hashfn.Hash64(key, c.seed1), c.nBuckets)
+}
+
+func (c *Cuckoo) h2(key uint64) int {
+	return hashfn.Reduce(hashfn.Hash64(key, c.seed2), c.nBuckets)
+}
+
+// Insert adds a record, kicking residents between their two candidate
+// buckets as needed. Returns ErrFull if placement fails.
+func (c *Cuckoo) Insert(rec Record) error {
+	if c.paranoid {
+		if _, ok := c.Lookup(rec.Key); ok {
+			return nil // duplicate: commercial maps treat insert as upsert
+		}
+	}
+	cur := rec
+	b1, b2 := c.h1(cur.Key), c.h2(cur.Key)
+	if c.tryPlace(b1, cur) || c.tryPlace(b2, cur) {
+		c.n++
+		return nil
+	}
+	// Random-walk eviction: displace a pseudo-random resident of the
+	// current bucket and follow the victim to its alternate bucket. The
+	// walk-length distribution has a heavy tail near full occupancy, so
+	// the kick budget is generous.
+	const maxKicks = 2000
+	b := b1
+	for kick := 0; kick < maxKicks; kick++ {
+		victim := int(hashfn.Mix64(cur.Key+uint64(kick)*0x9e3779b9) % uint64(c.bucketSize))
+		cur, c.buckets[b][victim].rec = c.buckets[b][victim].rec, cur
+		b = c.otherBucket(cur.Key, b)
+		if c.tryPlace(b, cur) {
+			c.n++
+			return nil
+		}
+	}
+	if len(c.stash) < c.stashCap {
+		c.stash = append(c.stash, cur)
+		c.n++
+		return nil
+	}
+	return ErrFull
+}
+
+func (c *Cuckoo) tryPlace(b int, rec Record) bool {
+	for i := range c.buckets[b] {
+		if !c.buckets[b][i].occupied {
+			c.buckets[b][i] = cuckooSlot{occupied: true, rec: rec}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cuckoo) otherBucket(key uint64, b int) int {
+	b1, b2 := c.h1(key), c.h2(key)
+	if b == b1 {
+		return b2
+	}
+	return b1
+}
+
+// Lookup returns the record for key and whether it was found. Both
+// candidate buckets are scanned in full (one SIMD compare each on
+// hardware), then the stash.
+func (c *Cuckoo) Lookup(key uint64) (Record, bool) {
+	b1 := c.h1(key)
+	for i := range c.buckets[b1] {
+		if c.buckets[b1][i].occupied && c.buckets[b1][i].rec.Key == key {
+			return c.buckets[b1][i].rec, true
+		}
+	}
+	b2 := c.h2(key)
+	for i := range c.buckets[b2] {
+		if c.buckets[b2][i].occupied && c.buckets[b2][i].rec.Key == key {
+			return c.buckets[b2][i].rec, true
+		}
+	}
+	for i := range c.stash {
+		if c.stash[i].Key == key {
+			return c.stash[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Len returns the number of stored records.
+func (c *Cuckoo) Len() int { return c.n }
+
+// Utilization returns stored records / total slots.
+func (c *Cuckoo) Utilization() float64 {
+	return float64(c.n) / float64(c.nBuckets*c.bucketSize)
+}
+
+// SizeBytes returns the charged footprint: recBytes per slot (occupied or
+// not) plus the stash.
+func (c *Cuckoo) SizeBytes() int {
+	return (c.nBuckets*c.bucketSize + len(c.stash)) * c.recBytes
+}

@@ -1,0 +1,94 @@
+package hashmap
+
+// InPlaceChained is the Appendix C architecture: "a chained Hash-map, which
+// uses a two pass algorithm: in the first pass, the learned hash function
+// is used to put items into slots. If a slot is already taken, the item is
+// skipped. Afterwards we use a separate chaining approach for every skipped
+// item except that we use the remaining free slots with offsets as pointers
+// for them. As a result, the utilization can be 100% ... and the quality of
+// the learned hash function can only make an impact on the performance not
+// the size: the fewer conflicts, the fewer cache misses."
+type InPlaceChained struct {
+	hash  HashFunc
+	slots []slot
+	n     int
+}
+
+// BuildInPlaceChained constructs the map from all records at once (the
+// structure is build-once / read-only, matching the paper's no-inserts
+// assumption). numSlots must be >= len(recs); with numSlots == len(recs)
+// utilization is exactly 100%.
+func BuildInPlaceChained(recs []Record, numSlots int, hash HashFunc) *InPlaceChained {
+	if numSlots < len(recs) {
+		numSlots = len(recs)
+	}
+	m := &InPlaceChained{hash: hash, slots: make([]slot, numSlots), n: len(recs)}
+	for i := range m.slots {
+		m.slots[i].next = slotEmpty
+	}
+	// Pass 1: place every record whose home slot is free.
+	skipped := make([]Record, 0, len(recs)/4)
+	for _, r := range recs {
+		p := m.hash(r.Key)
+		if m.slots[p].next == slotEmpty {
+			m.slots[p].rec = r
+			m.slots[p].next = chainEnd
+		} else {
+			skipped = append(skipped, r)
+		}
+	}
+	// Pass 2: place skipped records in remaining free slots and link them
+	// from their home chain via in-array offsets.
+	free := 0
+	for _, r := range skipped {
+		for m.slots[free].next != slotEmpty {
+			free++
+		}
+		m.slots[free].rec = r
+		m.slots[free].next = chainEnd
+		// Append to the home chain of r's hash.
+		p := m.hash(r.Key)
+		for m.slots[p].next != chainEnd {
+			p = int(m.slots[p].next)
+		}
+		m.slots[p].next = int32(free)
+		free++
+	}
+	return m
+}
+
+// Lookup returns the record for key and whether it was found.
+func (m *InPlaceChained) Lookup(key uint64) (Record, bool) {
+	p := m.hash(key)
+	s := &m.slots[p]
+	if s.next == slotEmpty {
+		return Record{}, false
+	}
+	for {
+		if s.rec.Key == key {
+			return s.rec, true
+		}
+		if s.next == chainEnd {
+			return Record{}, false
+		}
+		s = &m.slots[s.next]
+	}
+}
+
+// Len returns the number of stored records.
+func (m *InPlaceChained) Len() int { return m.n }
+
+// Utilization returns the fraction of occupied slots (1.0 when slots ==
+// records).
+func (m *InPlaceChained) Utilization() float64 {
+	occ := 0
+	for i := range m.slots {
+		if m.slots[i].next != slotEmpty {
+			occ++
+		}
+	}
+	return float64(occ) / float64(len(m.slots))
+}
+
+// SizeBytes returns the footprint: 24-byte slots, no separate overflow.
+func (m *InPlaceChained) SizeBytes() int { return len(m.slots) * slotBytes }

@@ -1,0 +1,119 @@
+package lookuptable
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"learnedindex/internal/data"
+)
+
+func oracle(keys []uint64, k uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+}
+
+func TestLookupMatchesOracle(t *testing.T) {
+	keys := data.Lognormal(20_000, 0, 2, 1_000_000_000, 1)
+	tbl := New(keys)
+	probes := append(data.SampleExisting(keys, 2000, 2), data.SampleMissing(keys, 500, 3)...)
+	probes = append(probes, 0, keys[0], keys[0]-1, keys[len(keys)-1], keys[len(keys)-1]+1, ^uint64(0))
+	for _, p := range probes {
+		want := oracle(keys, p)
+		if got := tbl.Lookup(p); got != want {
+			t.Fatalf("Lookup(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestPageBoundaryKeys(t *testing.T) {
+	// Keys exactly at 64-entry page boundaries exercise the scan carry
+	// logic.
+	keys := data.Dense(64*65+3, 1000, 2)
+	tbl := New(keys)
+	for i := 0; i < len(keys); i += 64 {
+		k := keys[i]
+		for _, probe := range []uint64{k - 1, k, k + 1} {
+			want := oracle(keys, probe)
+			if got := tbl.Lookup(probe); got != want {
+				t.Fatalf("boundary Lookup(%d) = %d, want %d", probe, got, want)
+			}
+		}
+	}
+}
+
+func TestNonMultipleOf64(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 129, 4095, 4097} {
+		keys := data.Dense(n, 5, 3)
+		tbl := New(keys)
+		probes := []uint64{0, keys[0], keys[n-1], keys[n-1] + 1, keys[n/2], keys[n/2] + 1}
+		for _, p := range probes {
+			want := oracle(keys, p)
+			if got := tbl.Lookup(p); got != want {
+				t.Fatalf("n=%d: Lookup(%d) = %d, want %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSizeBytesIncludesPadding(t *testing.T) {
+	keys := data.Dense(64*64+1, 0, 1) // 4097 keys -> 65 second entries -> padded to 128
+	tbl := New(keys)
+	want := (128 + 2) * 8
+	if tbl.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", tbl.SizeBytes(), want)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if New(nil).Lookup(5) != 0 {
+		t.Fatal("empty lookup")
+	}
+}
+
+func TestContains(t *testing.T) {
+	keys := data.Uniform(5000, 1<<40, 1)
+	tbl := New(keys)
+	for _, k := range keys[:500] {
+		if !tbl.Contains(k) {
+			t.Fatalf("missing %d", k)
+		}
+	}
+	for _, k := range data.SampleMissing(keys, 200, 2) {
+		if tbl.Contains(k) {
+			t.Fatalf("phantom %d", k)
+		}
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(raw []uint64, probe uint64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		keys := raw[:0]
+		var prev uint64
+		for i, k := range raw {
+			if i == 0 || k != prev {
+				keys = append(keys, k)
+				prev = k
+			}
+		}
+		tbl := New(keys)
+		return tbl.Lookup(probe) == oracle(keys, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	keys := data.Lognormal(1_000_000, 0, 2, 1_000_000_000, 1)
+	tbl := New(keys)
+	probes := data.SampleExisting(keys, 1<<16, 2)
+	b.ResetTimer()
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += tbl.Lookup(probes[i&(1<<16-1)])
+	}
+	sink = s
+}
+
+var sink int

@@ -1,0 +1,165 @@
+package ml
+
+import "fmt"
+
+// Graph is a deliberately faithful reproduction of the §2.3 "naïve learned
+// index" execution regime: the trained network is executed through a
+// dynamic dataflow-graph interpreter — boxed tensors, per-op dispatch
+// through an interface, per-invocation feed maps and allocations — the
+// overhead profile of calling a Tensorflow session for a tiny model
+// ("Tensorflow was designed to efficiently run larger models, not small
+// models, and thus, has a significant invocation overhead").
+//
+// The LIF's answer (§3.1) is to extract the weights and run them natively
+// (NN.Predict); Graph exists so the naïve-vs-LIF gap of §2.3 can be
+// measured rather than asserted.
+type Graph struct {
+	nodes []graphNode
+	out   int
+}
+
+type graphNode struct {
+	op   graphOp
+	deps []int
+	name string
+}
+
+// graphOp is the boxed-op interface every node dispatches through.
+type graphOp interface {
+	eval(inputs []*Tensor) *Tensor
+}
+
+// Tensor is a boxed dense matrix.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTensor allocates a rows×cols tensor.
+func NewTensor(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+type opInput struct{}
+
+func (opInput) eval(in []*Tensor) *Tensor { return in[0] }
+
+type opConst struct{ t *Tensor }
+
+func (o opConst) eval([]*Tensor) *Tensor {
+	// A session-style executor hands back a defensive copy.
+	c := NewTensor(o.t.Rows, o.t.Cols)
+	copy(c.Data, o.t.Data)
+	return c
+}
+
+type opMatMul struct{}
+
+func (opMatMul) eval(in []*Tensor) *Tensor {
+	a, b := in[0], in[1]
+	out := NewTensor(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.Data[i*a.Cols+k] * b.Data[k*b.Cols+j]
+			}
+			out.Data[i*b.Cols+j] = s
+		}
+	}
+	return out
+}
+
+type opAdd struct{}
+
+func (opAdd) eval(in []*Tensor) *Tensor {
+	a, b := in[0], in[1]
+	out := NewTensor(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+type opReLU struct{}
+
+func (opReLU) eval(in []*Tensor) *Tensor {
+	a := in[0]
+	out := NewTensor(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+type opAffineDenorm struct{ scale, off float64 }
+
+func (o opAffineDenorm) eval(in []*Tensor) *Tensor {
+	a := in[0]
+	out := NewTensor(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v*o.scale + o.off
+	}
+	return out
+}
+
+// NewGraphFromNN lowers a trained NN into the interpreted graph: one
+// MatMul+Add(+ReLU) chain per layer plus input normalization and output
+// denormalization nodes.
+func NewGraphFromNN(n *NN) *Graph {
+	g := &Graph{}
+	add := func(op graphOp, name string, deps ...int) int {
+		g.nodes = append(g.nodes, graphNode{op: op, deps: deps, name: name})
+		return len(g.nodes) - 1
+	}
+	cur := add(opInput{}, "input")
+	// normalization as affine op
+	cur = add(opAffineDenorm{scale: n.inScale[0], off: -n.inLo[0] * n.inScale[0]}, "normalize", cur)
+	prev := n.inDim
+	for l := range n.w {
+		d := len(n.b[l])
+		w := NewTensor(prev, d)
+		for j := 0; j < d; j++ {
+			for k := 0; k < prev; k++ {
+				w.Data[k*d+j] = n.w[l][j*prev+k]
+			}
+		}
+		b := NewTensor(1, d)
+		copy(b.Data, n.b[l])
+		wi := add(opConst{w}, fmt.Sprintf("W%d", l))
+		bi := add(opConst{b}, fmt.Sprintf("b%d", l))
+		cur = add(opMatMul{}, fmt.Sprintf("matmul%d", l), cur, wi)
+		cur = add(opAdd{}, fmt.Sprintf("add%d", l), cur, bi)
+		if l < len(n.w)-1 {
+			cur = add(opReLU{}, fmt.Sprintf("relu%d", l), cur)
+		}
+		prev = d
+	}
+	cur = add(opAffineDenorm{scale: n.outHi - n.outLo, off: n.outLo}, "denormalize", cur)
+	g.out = cur
+	return g
+}
+
+// Run executes the graph for a scalar input via a session-style evaluation:
+// a fresh feed map and per-node result slice every call.
+func (g *Graph) Run(x float64) float64 {
+	feed := map[string]*Tensor{"input": NewTensor(1, 1)}
+	feed["input"].Data[0] = x
+	results := make([]*Tensor, len(g.nodes))
+	for i, node := range g.nodes {
+		ins := make([]*Tensor, 0, len(node.deps)+1)
+		if node.name == "input" {
+			ins = append(ins, feed["input"])
+		}
+		for _, d := range node.deps {
+			ins = append(ins, results[d])
+		}
+		results[i] = node.op.eval(ins)
+	}
+	return results[g.out].Data[0]
+}
+
+// NumNodes returns the op count (for reports).
+func (g *Graph) NumNodes() int { return len(g.nodes) }

@@ -1,0 +1,228 @@
+// Package paged implements the Appendix D.2 scenario: a learned index over
+// data "partitioned into larger pages that are stored in separate regions
+// on disk", where the in-memory CDF assumption (pos = F(key)·N over one
+// continuous array) no longer holds directly.
+//
+// The paper outlines the remedy implemented here: keep the RMI over the
+// sorted key space, and add "an additional translation table in the form
+// of <first_key, disk-position>" mapping logical pages to physical ones.
+// The RMI's predicted position (with its min/max error window) selects the
+// logical page range; the translation table resolves physical pages; and
+// "it is possible to use the predicted position with the min- and
+// max-error to reduce the number of bytes which have to be read from a
+// large page".
+//
+// Store simulates the disk: physical pages live at shuffled identifiers
+// (allocation order is never key order on a real system) and every fetch
+// is counted, so experiments can compare page reads per lookup — the cost
+// that dominates once data leaves memory.
+package paged
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"learnedindex/internal/core"
+)
+
+// Record is a fixed-length key/value record, the paper's §2 setting.
+type Record struct {
+	Key   uint64
+	Value uint64
+}
+
+// Store is a simulated paged storage device: fixed records-per-page,
+// physical pages at shuffled ids, and a read counter standing in for I/O
+// latency.
+type Store struct {
+	pages     map[uint32][]Record
+	reads     int
+	perPage   int
+	physOrder []uint32 // logical page -> physical id
+}
+
+// ErrNoPage is returned for fetches of unknown physical ids.
+var ErrNoPage = errors.New("paged: no such page")
+
+// BuildStore partitions sorted records into pages of perPage records and
+// scatters them across shuffled physical ids.
+func BuildStore(recs []Record, perPage int, seed int64) *Store {
+	if perPage < 1 {
+		perPage = 1
+	}
+	n := (len(recs) + perPage - 1) / perPage
+	s := &Store{pages: make(map[uint32][]Record, n), perPage: perPage}
+	ids := rand.New(rand.NewSource(seed)).Perm(n)
+	s.physOrder = make([]uint32, n)
+	for lp := 0; lp < n; lp++ {
+		phys := uint32(ids[lp])
+		lo := lp * perPage
+		hi := lo + perPage
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		s.pages[phys] = recs[lo:hi]
+		s.physOrder[lp] = phys
+	}
+	return s
+}
+
+// Fetch reads a physical page, counting the I/O.
+func (s *Store) Fetch(phys uint32) ([]Record, error) {
+	p, ok := s.pages[phys]
+	if !ok {
+		return nil, ErrNoPage
+	}
+	s.reads++
+	return p, nil
+}
+
+// Reads returns the number of page fetches so far.
+func (s *Store) Reads() int { return s.reads }
+
+// ResetReads zeroes the fetch counter.
+func (s *Store) ResetReads() { s.reads = 0 }
+
+// NumPages returns the page count.
+func (s *Store) NumPages() int { return len(s.physOrder) }
+
+// PerPage returns records per page.
+func (s *Store) PerPage() int { return s.perPage }
+
+// Index is the Appendix D.2 learned index over a paged store: an RMI over
+// the keys plus a translation table from logical page to physical id.
+type Index struct {
+	rmi     *core.RMI
+	store   *Store
+	keys    []uint64 // retained sorted keys (the secondary-index key column)
+	perPage int
+	// translation table: logical page -> (first key, physical id); first
+	// keys are implicit via keys[lp*perPage], so only physical ids are
+	// materialized — 4 bytes per page.
+	trans []uint32
+}
+
+// New builds the paged learned index from sorted records. cfg configures
+// the RMI; perPage the page size; seed the physical shuffling.
+func New(recs []Record, cfg core.Config, perPage int, seed int64) *Index {
+	keys := make([]uint64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	store := BuildStore(recs, perPage, seed)
+	return &Index{
+		rmi:     core.New(keys, cfg),
+		store:   store,
+		keys:    keys,
+		perPage: perPage,
+		trans:   store.physOrder,
+	}
+}
+
+// Store exposes the underlying simulated device (for read accounting).
+func (ix *Index) Store() *Store { return ix.store }
+
+// Get returns the record for key, fetching at most the pages overlapped by
+// the RMI's error window. The common case — window inside one page — costs
+// exactly one page read.
+func (ix *Index) Get(key uint64) (Record, bool, error) {
+	n := len(ix.keys)
+	if n == 0 {
+		return Record{}, false, nil
+	}
+	// Exact position via the in-memory key column (a secondary index keeps
+	// <key, pointer> pairs in memory; Appendix D.2's translation table
+	// resolves the physical page).
+	pos := ix.rmi.Lookup(key)
+	if pos >= n || ix.keys[pos] != key {
+		return Record{}, false, nil
+	}
+	lp := pos / ix.perPage
+	page, err := ix.store.Fetch(ix.trans[lp])
+	if err != nil {
+		return Record{}, false, err
+	}
+	rec := page[pos%ix.perPage]
+	return rec, true, nil
+}
+
+// GetCold performs the lookup without consulting the in-memory key column
+// for the final position: the RMI window alone decides which pages to
+// fetch, and the pages are scanned — the paper's "reduce the number of
+// bytes which have to be read" path for disk-only deployments. Returns the
+// record, whether it was found, and how many pages were fetched.
+func (ix *Index) GetCold(key uint64) (Record, bool, int, error) {
+	n := len(ix.keys)
+	if n == 0 {
+		return Record{}, false, 0, nil
+	}
+	_, lo, hi := ix.rmi.Predict(key)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	lpLo := lo / ix.perPage
+	lpHi := (hi - 1) / ix.perPage
+	fetched := 0
+	for lp := lpLo; lp <= lpHi && lp < len(ix.trans); lp++ {
+		page, err := ix.store.Fetch(ix.trans[lp])
+		if err != nil {
+			return Record{}, false, fetched, err
+		}
+		fetched++
+		// In-page binary search.
+		i := sort.Search(len(page), func(i int) bool { return page[i].Key >= key })
+		if i < len(page) && page[i].Key == key {
+			return page[i], true, fetched, nil
+		}
+	}
+	// Model window may miss keys it never saw (non-monotonic models);
+	// fall back to the exact position path.
+	rec, ok, err := ix.Get(key)
+	if err != nil {
+		return Record{}, false, fetched, err
+	}
+	if ok {
+		fetched++
+	}
+	return rec, ok, fetched, err
+}
+
+// RangeCount fetches no pages: counts keys in [a, b) from the key column.
+func (ix *Index) RangeCount(a, b uint64) int {
+	s, e := ix.rmi.RangeScan(a, b)
+	return e - s
+}
+
+// RangeScan fetches the records with keys in [a, b), reading only the
+// overlapped pages, in key order.
+func (ix *Index) RangeScan(a, b uint64) ([]Record, error) {
+	s, e := ix.rmi.RangeScan(a, b)
+	if e <= s {
+		return nil, nil
+	}
+	out := make([]Record, 0, e-s)
+	for lp := s / ix.perPage; lp <= (e-1)/ix.perPage; lp++ {
+		page, err := ix.store.Fetch(ix.trans[lp])
+		if err != nil {
+			return nil, err
+		}
+		base := lp * ix.perPage
+		for i, r := range page {
+			if pos := base + i; pos >= s && pos < e {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SizeBytes returns the in-memory footprint: RMI + 4-byte translation
+// entries (the key column is charged to the secondary index's data, per
+// the paper's accounting).
+func (ix *Index) SizeBytes() int {
+	return ix.rmi.SizeBytes() + len(ix.trans)*4
+}
+
+// RMI exposes the trained model (for error statistics).
+func (ix *Index) RMI() *core.RMI { return ix.rmi }

@@ -1,0 +1,148 @@
+package paged
+
+import (
+	"testing"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+)
+
+func buildRecords(keys data.Keys) []Record {
+	recs := make([]Record, len(keys))
+	for i, k := range keys {
+		recs[i] = Record{Key: k, Value: k * 7}
+	}
+	return recs
+}
+
+func TestGetFindsEveryRecord(t *testing.T) {
+	keys := data.LognormalPaper(20_000, 1)
+	ix := New(buildRecords(keys), core.DefaultConfig(200), 64, 3)
+	for _, k := range keys[:2000] {
+		rec, ok, err := ix.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
+		}
+		if rec.Value != k*7 {
+			t.Fatalf("wrong record for %d", k)
+		}
+	}
+	for _, k := range data.SampleMissing(keys, 500, 2) {
+		if _, ok, _ := ix.Get(k); ok {
+			t.Fatalf("phantom %d", k)
+		}
+	}
+}
+
+func TestGetReadsOnePage(t *testing.T) {
+	keys := data.LognormalPaper(20_000, 1)
+	ix := New(buildRecords(keys), core.DefaultConfig(200), 64, 3)
+	ix.Store().ResetReads()
+	const probes = 1000
+	for _, k := range data.SampleExisting(keys, probes, 5) {
+		if _, ok, _ := ix.Get(k); !ok {
+			t.Fatalf("missing %d", k)
+		}
+	}
+	if got := ix.Store().Reads(); got != probes {
+		t.Fatalf("Get should cost exactly 1 page read; %d lookups did %d reads", probes, got)
+	}
+}
+
+func TestGetColdWindowBoundsPageReads(t *testing.T) {
+	keys := data.LognormalPaper(50_000, 1)
+	// A fine-leaved RMI keeps windows within ~1-2 pages.
+	ix := New(buildRecords(keys), core.DefaultConfig(2000), 256, 3)
+	ix.Store().ResetReads()
+	const probes = 2000
+	found := 0
+	totalFetched := 0
+	for _, k := range data.SampleExisting(keys, probes, 5) {
+		rec, ok, fetched, err := ix.GetCold(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found++
+			if rec.Value != k*7 {
+				t.Fatalf("wrong record for %d", k)
+			}
+		}
+		totalFetched += fetched
+	}
+	if found != probes {
+		t.Fatalf("found %d/%d", found, probes)
+	}
+	avg := float64(totalFetched) / probes
+	// Without the error window every lookup would scan all pages; with it
+	// the average must stay near 1-2.
+	if avg > 4 {
+		t.Fatalf("avg pages per cold lookup %.2f, want <= 4", avg)
+	}
+	t.Logf("avg pages per cold lookup: %.2f (of %d total pages)", avg, ix.Store().NumPages())
+}
+
+func TestRangeScanPaged(t *testing.T) {
+	keys := data.LognormalPaper(20_000, 1)
+	ix := New(buildRecords(keys), core.DefaultConfig(200), 64, 3)
+	a, b := keys[5000], keys[5500]
+	recs, err := ix.RangeScan(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("got %d records, want 500", len(recs))
+	}
+	for i, r := range recs {
+		if r.Key != keys[5000+i] {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if got := ix.RangeCount(a, b); got != 500 {
+		t.Fatalf("RangeCount = %d", got)
+	}
+}
+
+func TestTranslationScattersPhysically(t *testing.T) {
+	keys := data.Dense(10_000, 0, 3)
+	ix := New(buildRecords(keys), core.DefaultConfig(64), 100, 3)
+	// Logical order must NOT equal physical order (the simulated disk
+	// scatters pages), yet lookups still work.
+	inOrder := 0
+	for lp, phys := range ix.trans {
+		if int(phys) == lp {
+			inOrder++
+		}
+	}
+	if inOrder > len(ix.trans)/10 {
+		t.Fatalf("pages suspiciously in order: %d/%d", inOrder, len(ix.trans))
+	}
+	if _, ok, _ := ix.Get(keys[777]); !ok {
+		t.Fatal("lookup through scattered pages failed")
+	}
+}
+
+func TestStoreFetchUnknown(t *testing.T) {
+	s := BuildStore(buildRecords(data.Dense(100, 0, 1)), 10, 1)
+	if _, err := s.Fetch(9999); err != ErrNoPage {
+		t.Fatalf("want ErrNoPage, got %v", err)
+	}
+}
+
+func TestSizeBytesCountsTranslation(t *testing.T) {
+	keys := data.Dense(10_000, 0, 3)
+	ix := New(buildRecords(keys), core.DefaultConfig(64), 100, 3)
+	if ix.SizeBytes() <= ix.RMI().SizeBytes() {
+		t.Fatal("translation table not charged")
+	}
+	if ix.SizeBytes()-ix.RMI().SizeBytes() != 100*4 {
+		t.Fatalf("translation charge wrong: %d", ix.SizeBytes()-ix.RMI().SizeBytes())
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	ix := New(nil, core.DefaultConfig(4), 64, 1)
+	if _, ok, err := ix.Get(5); ok || err != nil {
+		t.Fatal("empty index should miss cleanly")
+	}
+}

@@ -1,0 +1,231 @@
+// Package search implements the "last mile" search strategies of §3.4.
+//
+// A learned range index predicts a position and bounds the residual error;
+// these routines locate the exact lower bound inside the bounded region. All
+// functions return lower_bound semantics: the index in [lo, hi] of the first
+// key >= target, where hi may equal len(keys) conceptually (the returned
+// position can be one past the last in-range element).
+//
+// The paper's strategies:
+//
+//   - Binary: classic binary search (the baseline; "repeatedly reported"
+//     fastest for small payloads).
+//   - ModelBiasedBinary: binary search whose first middle point is the model
+//     prediction.
+//   - BiasedQuaternary: three initial split points pos-σ, pos, pos+σ, then
+//     quaternary search; exploits the fact that the model predicts the
+//     position itself, not just a page.
+//   - Exponential: doubling search outward from the prediction; needs no
+//     stored error bounds ("assuming a normal distributed error", §3.4).
+//   - Interpolation: used inside the fixed-size B-Tree baseline (Figure 5).
+package search
+
+// Binary returns the lower bound of target in keys[lo:hi] using classic
+// binary search. lo and hi follow half-open [lo, hi) convention.
+func Binary(keys []uint64, target uint64, lo, hi int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ModelBiasedBinary is binary search over [lo, hi) whose first probe is the
+// model prediction pred instead of the midpoint (§3.4 "Model Biased
+// Search"). When the prediction is good the search terminates in far fewer
+// probes than log2(hi-lo).
+func ModelBiasedBinary(keys []uint64, target uint64, lo, hi, pred int) int {
+	if pred < lo {
+		pred = lo
+	}
+	if pred >= hi {
+		pred = hi - 1
+	}
+	if lo >= hi {
+		return lo
+	}
+	if keys[pred] < target {
+		lo = pred + 1
+	} else {
+		hi = pred
+	}
+	return Binary(keys, target, lo, hi)
+}
+
+// BiasedQuaternary implements the paper's biased quaternary search: the
+// three initial middle points are pred-sigma, pred, pred+sigma (σ being the
+// model's standard error), after which it continues with plain quaternary
+// search. On hardware this lets the prefetcher pull all three probe points
+// at once; the algorithmic structure is preserved here.
+func BiasedQuaternary(keys []uint64, target uint64, lo, hi, pred, sigma int) int {
+	if lo >= hi {
+		return lo
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	q1, q2, q3 := pred-sigma, pred, pred+sigma
+	lo, hi = probe3(keys, target, lo, hi, q1, q2, q3)
+	// Continue with standard quaternary search until the range is small,
+	// then finish with binary search.
+	for hi-lo > 8 {
+		quarter := (hi - lo) / 4
+		q1, q2, q3 = lo+quarter, lo+2*quarter, lo+3*quarter
+		lo, hi = probe3(keys, target, lo, hi, q1, q2, q3)
+	}
+	return Binary(keys, target, lo, hi)
+}
+
+// probe3 narrows [lo, hi) using three ordered probe points, clamping them
+// into range first.
+func probe3(keys []uint64, target uint64, lo, hi, q1, q2, q3 int) (int, int) {
+	clamp := func(x int) int {
+		if x < lo {
+			return lo
+		}
+		if x >= hi {
+			return hi - 1
+		}
+		return x
+	}
+	q1, q2, q3 = clamp(q1), clamp(q2), clamp(q3)
+	switch {
+	case keys[q1] >= target:
+		return lo, q1
+	case keys[q3] < target:
+		return q3 + 1, hi
+	case keys[q2] < target:
+		return q2 + 1, q3 + 1 // answer in (q2, q3]
+	default:
+		return q1 + 1, q2 + 1 // answer in (q1, q2]
+	}
+}
+
+// Exponential searches outward from pred with doubling steps until the
+// target is bracketed, then finishes with binary search. It requires no
+// stored error bounds (§3.4).
+func Exponential(keys []uint64, target uint64, n, pred int) int {
+	if pred < 0 {
+		pred = 0
+	}
+	if pred >= n {
+		pred = n - 1
+	}
+	if n == 0 {
+		return 0
+	}
+	if keys[pred] >= target {
+		// search left: find lo with keys[lo] < target
+		step := 1
+		hi := pred
+		lo := pred - step
+		for lo >= 0 && keys[lo] >= target {
+			hi = lo
+			step <<= 1
+			lo = pred - step
+		}
+		if lo < 0 {
+			lo = 0
+		} else {
+			lo++ // keys[lo] < target, answer in (lo, hi]
+		}
+		return Binary(keys, target, lo, hi)
+	}
+	// search right: find hi with keys[hi] >= target
+	step := 1
+	lo := pred + 1
+	hi := pred + step
+	for hi < n && keys[hi] < target {
+		lo = hi + 1
+		step <<= 1
+		hi = pred + step
+	}
+	if hi > n-1 {
+		hi = n - 1
+		if keys[hi] < target {
+			return n
+		}
+	}
+	return Binary(keys, target, lo, hi+1)
+}
+
+// Interpolation performs interpolation search for the lower bound of target
+// in keys[lo:hi), falling back to binary search when the interpolation
+// stops converging. Used by the Figure 5 "fixed-size B-Tree with
+// interpolation search" baseline.
+func Interpolation(keys []uint64, target uint64, lo, hi int) int {
+	const maxIter = 32
+	h := hi - 1
+	for iter := 0; lo < h && iter < maxIter; iter++ {
+		kl, kh := keys[lo], keys[h]
+		if target <= kl {
+			return Binary(keys, target, lo, h+1)
+		}
+		if target > kh {
+			return h + 1
+		}
+		// position estimate by linear interpolation between endpoints
+		span := float64(kh - kl)
+		mid := lo + int(float64(target-kl)/span*float64(h-lo))
+		if mid <= lo {
+			mid = lo + 1
+		}
+		if mid > h {
+			mid = h
+		}
+		if keys[mid] < target {
+			lo = mid + 1
+		} else if mid > lo && keys[mid-1] >= target {
+			h = mid - 1
+		} else {
+			return mid
+		}
+	}
+	return Binary(keys, target, lo, h+1)
+}
+
+// BoundedWithExpansion searches for the lower bound of target in keys using
+// the model's error window [lo, hi], expanding the window when the result
+// lies on its boundary — the paper's remedy for non-monotonic models whose
+// error bounds only hold for stored keys (§3.4: "we incrementally adjust
+// the search area"). This guarantees correct lower-bound semantics for any
+// query key.
+func BoundedWithExpansion(keys []uint64, target uint64, lo, hi int) int {
+	n := len(keys)
+	clampWin := func() {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+	}
+	clampWin()
+	for {
+		pos := Binary(keys, target, lo, hi)
+		expanded := false
+		if pos == lo && lo > 0 && keys[lo-1] >= target {
+			// answer may lie left of the window
+			width := hi - lo + 1
+			lo -= width * 2
+			expanded = true
+		}
+		if pos == hi && hi < n && (hi == 0 || keys[hi-1] < target) {
+			// answer may lie right of the window
+			width := hi - lo + 1
+			hi += width * 2
+			expanded = true
+		}
+		if !expanded {
+			return pos
+		}
+		clampWin()
+	}
+}

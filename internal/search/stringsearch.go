@@ -1,0 +1,112 @@
+package search
+
+// StringBinary returns the lower bound of target in keys[lo:hi) (strings,
+// lexicographic order).
+func StringBinary(keys []string, target string, lo, hi int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// StringModelBiasedBinary is ModelBiasedBinary over string keys.
+func StringModelBiasedBinary(keys []string, target string, lo, hi, pred int) int {
+	if pred < lo {
+		pred = lo
+	}
+	if pred >= hi {
+		pred = hi - 1
+	}
+	if lo >= hi {
+		return lo
+	}
+	if keys[pred] < target {
+		lo = pred + 1
+	} else {
+		hi = pred
+	}
+	return StringBinary(keys, target, lo, hi)
+}
+
+// StringBiasedQuaternary is BiasedQuaternary over string keys: initial probe
+// points pred-sigma, pred, pred+sigma, then quaternary splitting, finishing
+// with binary search (§3.7.2 "Learned QS").
+func StringBiasedQuaternary(keys []string, target string, lo, hi, pred, sigma int) int {
+	if lo >= hi {
+		return lo
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	q1, q2, q3 := pred-sigma, pred, pred+sigma
+	lo, hi = stringProbe3(keys, target, lo, hi, q1, q2, q3)
+	for hi-lo > 8 {
+		quarter := (hi - lo) / 4
+		q1, q2, q3 = lo+quarter, lo+2*quarter, lo+3*quarter
+		lo, hi = stringProbe3(keys, target, lo, hi, q1, q2, q3)
+	}
+	return StringBinary(keys, target, lo, hi)
+}
+
+func stringProbe3(keys []string, target string, lo, hi, q1, q2, q3 int) (int, int) {
+	clamp := func(x int) int {
+		if x < lo {
+			return lo
+		}
+		if x >= hi {
+			return hi - 1
+		}
+		return x
+	}
+	q1, q2, q3 = clamp(q1), clamp(q2), clamp(q3)
+	switch {
+	case keys[q1] >= target:
+		return lo, q1
+	case keys[q3] < target:
+		return q3 + 1, hi
+	case keys[q2] < target:
+		return q2 + 1, q3 + 1
+	default:
+		return q1 + 1, q2 + 1
+	}
+}
+
+// StringBoundedWithExpansion is BoundedWithExpansion over string keys.
+func StringBoundedWithExpansion(keys []string, target string, lo, hi int) int {
+	n := len(keys)
+	clampWin := func() {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+	}
+	clampWin()
+	for {
+		pos := StringBinary(keys, target, lo, hi)
+		expanded := false
+		if pos == lo && lo > 0 && keys[lo-1] >= target {
+			width := hi - lo + 1
+			lo -= width * 2
+			expanded = true
+		}
+		if pos == hi && hi < n {
+			width := hi - lo + 1
+			hi += width * 2
+			expanded = true
+		}
+		if !expanded {
+			return pos
+		}
+		clampWin()
+	}
+}

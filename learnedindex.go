@@ -1,0 +1,108 @@
+// Package learnedindex is a from-scratch Go reproduction of "The Case for
+// Learned Index Structures" (Kraska, Beutel, Chi, Dean, Polyzotis — SIGMOD
+// 2018): range indexes as CDF models (the Recursive Model Index), learned
+// hash functions for point indexes, and learned Bloom filters for
+// existence indexes.
+//
+// This root package is the public API: thin aliases over the
+// implementation in internal/core, so downstream users import one package:
+//
+//	idx := learnedindex.New(sortedKeys, learnedindex.DefaultConfig(10_000))
+//	pos := idx.Lookup(key)            // lower-bound semantics
+//	lo, hi := idx.RangeScan(a, b)     // positions of keys in [a, b)
+//
+// See the examples/ directory for runnable scenarios and cmd/lix-bench for
+// the paper's full evaluation suite.
+package learnedindex
+
+import (
+	"learnedindex/internal/core"
+)
+
+// Range index (§2–3): the Recursive Model Index.
+type (
+	// RMI is a recursive model index over a sorted []uint64: a hierarchy of
+	// models that predicts a key's position with per-leaf min/max error
+	// bounds, corrected by a local search.
+	RMI = core.RMI
+	// Config specifies an RMI: stage-1 model family, stage sizes, search
+	// strategy and hybrid threshold (Algorithm 1's inputs).
+	Config = core.Config
+	// SearchKind selects the last-mile search strategy (§3.4).
+	SearchKind = core.SearchKind
+	// TopKind selects the stage-1 model family (§3.3).
+	TopKind = core.TopKind
+
+	// StringRMI is the string-keyed RMI of §3.5 (Figure 6).
+	StringRMI = core.StringRMI
+	// StringConfig specifies a StringRMI.
+	StringConfig = core.StringConfig
+
+	// DeltaIndex adds insert support through the buffered-merge strategy of
+	// Appendix D.1.
+	DeltaIndex = core.DeltaIndex
+)
+
+// Point index (§4): learned hash functions.
+type (
+	// LearnedHash scales a CDF model into a hash function h(K) = F(K)·M.
+	LearnedHash = core.LearnedHash
+	// ConflictStats reports slot occupancy under a hash function (Figure 8).
+	ConflictStats = core.ConflictStats
+)
+
+// Existence index (§5): learned Bloom filters.
+type (
+	// Classifier is a probabilistic model f(x) ∈ [0,1] over string keys.
+	Classifier = core.Classifier
+	// LearnedBloom is the classifier + overflow-filter construction (§5.1.1).
+	LearnedBloom = core.LearnedBloom
+	// ModelHashBloom is the discretized model-hash construction (§5.1.2).
+	ModelHashBloom = core.ModelHashBloom
+)
+
+// Search strategies (§3.4).
+const (
+	SearchModelBiased = core.SearchModelBiased
+	SearchBinary      = core.SearchBinary
+	SearchQuaternary  = core.SearchQuaternary
+	SearchExponential = core.SearchExponential
+)
+
+// Stage-1 model families (§3.3, §3.7.1).
+const (
+	TopLinear       = core.TopLinear
+	TopMultivariate = core.TopMultivariate
+	TopNN           = core.TopNN
+)
+
+// Constructors.
+var (
+	// New trains an RMI over sorted unique keys (Algorithm 1).
+	New = core.New
+	// DefaultConfig returns the paper's default 2-stage shape.
+	DefaultConfig = core.DefaultConfig
+	// NewString trains a string RMI.
+	NewString = core.NewString
+	// DefaultStringConfig mirrors Figure 6's learned-index rows.
+	DefaultStringConfig = core.DefaultStringConfig
+	// NewDelta wraps an RMI with an insert buffer (Appendix D.1).
+	NewDelta = core.NewDelta
+	// NewLearnedHash trains a CDF hash targeting a slot count (§4.1).
+	NewLearnedHash = core.NewLearnedHash
+	// NewLearnedHashFromRMI reuses a trained RMI as the CDF model.
+	NewLearnedHashFromRMI = core.NewLearnedHashFromRMI
+	// RandomHashFunc is the Murmur-style baseline hash.
+	RandomHashFunc = core.RandomHashFunc
+	// MeasureConflicts fills a virtual table and reports occupancy.
+	MeasureConflicts = core.MeasureConflicts
+	// NewLearnedBloom builds the §5.1.1 filter (tunes τ, sizes overflow).
+	NewLearnedBloom = core.NewLearnedBloom
+	// NewModelHashBloom builds the §5.1.2 filter.
+	NewModelHashBloom = core.NewModelHashBloom
+	// GridSearch is the LIF auto-tuner (§3.1): trains every candidate and
+	// ranks by the objective.
+	GridSearch = core.GridSearch
+	// DefaultGrid returns the paper's §3.7.1 grid-search space.
+	DefaultGrid = core.DefaultGrid
+)
