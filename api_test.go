@@ -91,3 +91,25 @@ func TestPublicAPIGridSearch(t *testing.T) {
 		t.Fatal("no measurement")
 	}
 }
+
+func TestPublicAPIStore(t *testing.T) {
+	keys := sortedKeys(50_000)
+	st := learnedindex.NewStore(keys, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 8})
+	defer st.Close()
+	batch := []uint64{keys[40_000], keys[0], keys[123], keys[49_999] + 1}
+	got := st.LookupBatch(batch)
+	for i, k := range batch {
+		want := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+		if got[i] != want {
+			t.Fatalf("LookupBatch[%d](%d) = %d, want %d", i, k, got[i], want)
+		}
+	}
+	st.Insert(keys[49_999] + 7)
+	st.Flush()
+	if cb := st.ContainsBatch([]uint64{keys[49_999] + 7, keys[49_999] + 8}); !cb[0] || cb[1] {
+		t.Fatalf("ContainsBatch after flush = %v, want [true false]", cb)
+	}
+	if st.Len() != len(keys)+1 {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(keys)+1)
+	}
+}

@@ -11,6 +11,7 @@ package learnedindex_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"learnedindex"
@@ -376,6 +377,65 @@ func BenchmarkTable1InPlaceChainedLearned(b *testing.B) {
 		sink += r.Payload
 	}
 	_ = sink
+}
+
+// --- Serving layer: sharded concurrent batch lookups ---------------------
+
+// BenchmarkServeSingleThreadLookup is the baseline the serving layer is
+// measured against: per-key lookups on one goroutine over one RMI.
+func BenchmarkServeSingleThreadLookup(b *testing.B) {
+	load()
+	r := core.New(dMaps, core.DefaultConfig(benchN/2000))
+	benchLookups(b, dProbes["Maps"], r.SizeBytes(), r.Lookup)
+}
+
+// BenchmarkServeLookupBatch sweeps shard counts for the batched lookup
+// path on a single goroutine (one op = one 512-probe batch).
+func BenchmarkServeLookupBatch(b *testing.B) {
+	load()
+	for _, nsh := range []int{1, 4, 8, 16} {
+		st := learnedindex.NewStore(dMaps, learnedindex.Config{}, learnedindex.StoreOptions{Shards: nsh})
+		b.Run("shards"+itoa(nsh), func(b *testing.B) {
+			probes := dProbes["Maps"]
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				off := (n * 512) & (1<<16 - 1)
+				n++
+				st.LookupBatch(probes[off : off+512])
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*512), "ns/key")
+		})
+		st.Close()
+	}
+}
+
+// BenchmarkServeLookupBatchParallel fans batches across GOMAXPROCS
+// goroutines; reads are lock-free so throughput scales with cores.
+func BenchmarkServeLookupBatchParallel(b *testing.B) {
+	load()
+	st := learnedindex.NewStore(dMaps, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 8})
+	defer st.Close()
+	probes := dProbes["Maps"]
+	var cursor int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			off := int(atomic.AddInt64(&cursor, 512)) & (1<<16 - 1)
+			st.LookupBatch(probes[off : off+512])
+		}
+	})
+}
+
+// BenchmarkServeInsertThroughput measures buffered inserts (background
+// merges included) through the concurrent write path.
+func BenchmarkServeInsertThroughput(b *testing.B) {
+	load()
+	st := learnedindex.NewStore(dMaps, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 8})
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Insert(uint64(i) * 2654435761)
+	}
 }
 
 // --- §2.3: the naïve learned index --------------------------------------

@@ -5,8 +5,10 @@
 //	lix-bench [flags] <experiment>...
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
-// figure11, table1, appendixA, appendixE, all (everything except the
-// GRU-training path of figure10; add -gru to include it).
+// figure11, table1, appendixA, appendixE, serve, all (everything except
+// the GRU-training path of figure10; add -gru to include it). serve is
+// this repo's extension beyond the paper: single-threaded per-key lookups
+// vs the sharded concurrent batch serving layer.
 //
 // Flags scale the run; defaults are laptop-sized with the paper's ratios
 // preserved (see DESIGN.md §3).
@@ -39,7 +41,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|all>...")
 		os.Exit(2)
 	}
 	for _, exp := range args {
@@ -70,8 +72,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.AppendixA(opts)
 	case "appendixE":
 		experiments.AppendixE(opts)
+	case "serve":
+		experiments.Serve(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve"} {
 			run(e, opts, gru)
 		}
 		return

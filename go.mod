@@ -1,0 +1,3 @@
+module learnedindex
+
+go 1.21

@@ -14,6 +14,16 @@ import (
 // Lookups consult the trained RMI over the base array and binary-search the
 // (small, sorted) delta buffer, merging the two views. When the buffer
 // exceeds the merge threshold, the arrays are merged and the RMI retrained.
+//
+// The index has set semantics: inserting a key already present (in either
+// view) is a no-op, so Len and Count are exact at all times, before and
+// after merges.
+//
+// DeltaIndex makes NO concurrency guarantees: Insert may trigger a merge
+// that replaces the base array and RMI in place, so it must not race with
+// any other method. Callers that need concurrent readers during inserts and
+// merges should use internal/serve, which layers RCU-style snapshot
+// swapping and sharding on top of this package.
 type DeltaIndex struct {
 	rmi    *RMI
 	base   []uint64
@@ -23,10 +33,20 @@ type DeltaIndex struct {
 	merges int
 }
 
-// NewDelta builds a delta index over the initial sorted keys. mergeThresh
+// NewDelta builds a delta index over the initial sorted keys (duplicates
+// are dropped in place, preserving the exact-count guarantee). mergeThresh
 // is the buffered-insert count that triggers a merge+retrain (default:
 // max(1024, n/16)).
 func NewDelta(keys []uint64, cfg Config, mergeThresh int) *DeltaIndex {
+	if n := len(keys); n > 1 {
+		dst := keys[:1]
+		for _, v := range keys[1:] {
+			if v != dst[len(dst)-1] {
+				dst = append(dst, v)
+			}
+		}
+		keys = dst
+	}
 	if mergeThresh <= 0 {
 		mergeThresh = len(keys) / 16
 		if mergeThresh < 1024 {
@@ -38,14 +58,23 @@ func NewDelta(keys []uint64, cfg Config, mergeThresh int) *DeltaIndex {
 
 // Insert adds a key. Appends (the common log/timestamp workload the paper
 // calls out as O(1) for learned indexes) and mid-inserts both go through
-// the buffer; the buffer is kept sorted by insertion-sort from the back,
-// which is O(1) amortized for append-mostly workloads.
+// the buffer. The buffer is kept sorted and disjoint from the base array:
+// re-inserting a present key is a no-op, which is what keeps Len and Count
+// exact between merges. Appends shift nothing, so they stay O(log) compare
+// / O(1) move.
 func (d *DeltaIndex) Insert(key uint64) {
-	d.delta = append(d.delta, key)
-	// Insertion sort from the back: appends cost O(1).
-	for i := len(d.delta) - 1; i > 0 && d.delta[i-1] > d.delta[i]; i-- {
-		d.delta[i-1], d.delta[i] = d.delta[i], d.delta[i-1]
+	p := search.Binary(d.delta, key, 0, len(d.delta))
+	if p < len(d.delta) && d.delta[p] == key {
+		return // already buffered
 	}
+	// Base-view dedup. Pure appends (key beyond the base) skip the RMI
+	// lookup entirely, keeping the log/timestamp workload cheap.
+	if len(d.base) > 0 && key <= d.base[len(d.base)-1] && d.rmi.Contains(key) {
+		return // already in the base view
+	}
+	d.delta = append(d.delta, 0)
+	copy(d.delta[p+1:], d.delta[p:])
+	d.delta[p] = key
 	if len(d.delta) >= d.thresh {
 		d.Merge()
 	}
@@ -69,7 +98,8 @@ func (d *DeltaIndex) Merge() {
 	}
 	merged = append(merged, d.base[i:]...)
 	merged = append(merged, d.delta[j:]...)
-	// Drop duplicates introduced by repeated inserts.
+	// Insert keeps the views disjoint, so this dedup only defends against a
+	// caller seeding NewDelta with duplicate keys.
 	dst := merged[:0]
 	var prev uint64
 	for k, v := range merged {
@@ -93,15 +123,20 @@ func (d *DeltaIndex) Contains(key uint64) bool {
 	return p < len(d.delta) && d.delta[p] == key
 }
 
-// Count returns the number of keys k in [lo, hi) across both views.
+// Count returns the number of distinct keys k in [lo, hi). The two views
+// are disjoint (Insert dedups against the base), so summing the per-view
+// range counts is exact.
 func (d *DeltaIndex) Count(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
 	s, e := d.rmi.RangeScan(lo, hi)
 	ds := search.Binary(d.delta, lo, 0, len(d.delta))
 	de := search.Binary(d.delta, hi, 0, len(d.delta))
 	return (e - s) + (de - ds)
 }
 
-// Len returns the total number of keys.
+// Len returns the total number of distinct keys.
 func (d *DeltaIndex) Len() int { return len(d.base) + len(d.delta) }
 
 // Merges returns how many merge+retrain cycles have run.

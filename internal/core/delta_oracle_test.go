@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+// deltaOracle is the reference implementation: a plain sorted set.
+type deltaOracle struct {
+	set map[uint64]struct{}
+}
+
+func (o *deltaOracle) insert(k uint64)        { o.set[k] = struct{}{} }
+func (o *deltaOracle) contains(k uint64) bool { _, ok := o.set[k]; return ok }
+func (o *deltaOracle) len() int               { return len(o.set) }
+func (o *deltaOracle) count(lo, hi uint64) int {
+	c := 0
+	for k := range o.set {
+		if k >= lo && k < hi {
+			c++
+		}
+	}
+	return c
+}
+
+// TestDeltaIndexOracleRandomized drives DeltaIndex with a mix of fresh,
+// duplicate, and already-present inserts — including re-inserts of base
+// keys and keys that survive merges — and checks Count/Len/Contains against
+// the set oracle at every step boundary.
+func TestDeltaIndexOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := data.Lognormal(4000, 0, 2, 1_000_000_000, 1)
+	o := &deltaOracle{set: make(map[uint64]struct{}, 8000)}
+	for _, k := range base {
+		o.insert(k)
+	}
+	d := NewDelta(append([]uint64{}, base...), DefaultConfig(64), 512)
+
+	check := func(step int) {
+		t.Helper()
+		if d.Len() != o.len() {
+			t.Fatalf("step %d: Len = %d, oracle %d", step, d.Len(), o.len())
+		}
+		lo := uint64(rng.Int63n(1_000_000_000))
+		hi := lo + uint64(rng.Int63n(500_000_000))
+		if got, want := d.Count(lo, hi), o.count(lo, hi); got != want {
+			t.Fatalf("step %d: Count(%d,%d) = %d, oracle %d", step, lo, hi, got, want)
+		}
+		if got := d.Count(hi, lo); got != 0 {
+			t.Fatalf("step %d: inverted Count = %d, want 0", step, got)
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		var k uint64
+		switch rng.Intn(4) {
+		case 0: // fresh random key
+			k = uint64(rng.Int63n(1_000_000_000))
+		case 1: // re-insert an original base key
+			k = base[rng.Intn(len(base))]
+		case 2: // duplicate of the immediately preceding insert region
+			k = uint64(rng.Int63n(1000)) * 1000
+		default: // append-ish tail key
+			k = 1_000_000_000 + uint64(step)
+		}
+		d.Insert(k)
+		o.insert(k)
+		if !d.Contains(k) {
+			t.Fatalf("step %d: lost freshly inserted %d", step, k)
+		}
+		if step%257 == 0 {
+			check(step)
+		}
+		if step%1111 == 1110 {
+			d.Merge() // force extra merges between the threshold ones
+			check(step)
+		}
+	}
+	check(-1)
+	if d.Merges() == 0 {
+		t.Fatal("workload should have produced merges")
+	}
+	// Full-universe count equals Len; membership matches for a sample.
+	if got := d.Count(0, ^uint64(0)); got != o.len() {
+		t.Fatalf("full Count = %d, oracle %d", got, o.len())
+	}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Int63n(1_100_000_000))
+		if d.Contains(k) != o.contains(k) {
+			t.Fatalf("Contains(%d) = %v, oracle %v", k, d.Contains(k), o.contains(k))
+		}
+	}
+}
+
+// TestRMILookupBatchSorted checks the amortized batch primitive against
+// per-key Lookup on uniform, lognormal, and adversarial (all-equal, empty,
+// out-of-range) ascending batches.
+func TestRMILookupBatchSorted(t *testing.T) {
+	keys := data.LognormalPaper(50_000, 3)
+	r := New(keys, DefaultConfig(500))
+	maxKey := keys[len(keys)-1]
+
+	batches := map[string][]uint64{
+		"empty":     {},
+		"all-equal": {keys[777], keys[777], keys[777], keys[777]},
+		"below-min": {0, 1, 2},
+		"above-max": {maxKey + 1, maxKey + 2, ^uint64(0)},
+		"uniform":   data.Uniform(3000, maxKey+10, 5),
+		"lognormal": data.SampleExisting(keys, 3000, 6),
+		"mixed":     append(data.SampleExisting(keys, 1500, 7), data.SampleMissing(keys, 1500, 8)...),
+	}
+	for name, batch := range batches {
+		sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+		out := make([]int, len(batch))
+		r.LookupBatchSorted(batch, out)
+		for i, k := range batch {
+			if want := r.Lookup(k); out[i] != want {
+				t.Fatalf("%s[%d]: batch Lookup(%d) = %d, per-key %d", name, i, k, out[i], want)
+			}
+		}
+	}
+}

@@ -109,10 +109,25 @@ func TestDeltaIndexCount(t *testing.T) {
 
 func TestDeltaIndexDuplicateInserts(t *testing.T) {
 	d := NewDelta([]uint64{1, 2, 3}, DefaultConfig(4), 4)
-	d.Insert(2)
-	d.Insert(2)
-	d.Insert(2)
-	d.Insert(2) // triggers merge at threshold 4
+	// Re-inserts of present keys (base or buffer) are no-ops: they must not
+	// inflate Len/Count and must not fill the buffer toward a merge.
+	for i := 0; i < 10; i++ {
+		d.Insert(2)
+		d.Insert(5)
+	}
+	if d.Merges() != 0 {
+		t.Fatal("duplicate inserts should not fill the merge buffer")
+	}
+	if got := d.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := d.Count(0, 100); got != 4 {
+		t.Fatalf("Count(0,100) = %d, want 4", got)
+	}
+	// Distinct inserts still trigger the merge, and it leaves no duplicates.
+	d.Insert(7)
+	d.Insert(9)
+	d.Insert(11) // buffer reaches threshold 4
 	if d.Merges() == 0 {
 		t.Fatal("expected merge")
 	}
@@ -121,6 +136,9 @@ func TestDeltaIndexDuplicateInserts(t *testing.T) {
 		if ks[i] == ks[i-1] {
 			t.Fatal("merge left duplicates")
 		}
+	}
+	if d.Len() != len(ks) || d.Len() != 7 {
+		t.Fatalf("Len = %d (keys %d), want 7", d.Len(), len(ks))
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race detector;
+// timing-shape assertions are skipped there (instrumentation distorts the
+// relative costs they check).
+const raceEnabled = true

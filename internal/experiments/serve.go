@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/serve"
+)
+
+// ServeRow is one measured serving configuration.
+type ServeRow struct {
+	Shards     int
+	Goroutines int
+	BatchSize  int
+	MLookupsPS float64 // million lookups per second
+	SpeedUp    float64 // vs single-threaded per-key Lookup on one RMI
+}
+
+// Serve measures the concurrent serving layer (internal/serve) against the
+// paper-style single-threaded baseline: per-key RMI Lookup on one
+// goroutine vs sharded LookupBatch fanned across goroutines. This is the
+// ROADMAP's sharding+batching+concurrency axis — the table reports million
+// lookups/second and the speedup over the baseline for each (shards,
+// goroutines) point.
+func Serve(o Options) []ServeRow {
+	o = o.withDefaults()
+	keys := cachedKeys("maps", o.N, o.Seed, func() data.Keys { return data.Maps(o.N, o.Seed) })
+	probes := data.SampleExisting(keys, o.Probes, o.Seed+1)
+	const batchSize = 512
+
+	// Baseline: single goroutine, per-key lookups over one monolithic RMI.
+	r := core.New(keys, core.DefaultConfig(len(keys)/2000))
+	perLookup := bench.TimeLookups(probes, o.Rounds, r.Lookup) // mean latency
+	basePS := 1 / perLookup.Seconds()
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("Serving layer: sharded LookupBatch vs single-threaded Lookup (%d keys, %d probes, batch %d, GOMAXPROCS %d)",
+			len(keys), len(probes), batchSize, runtime.GOMAXPROCS(0)),
+		Headers: []string{"Shards", "Goroutines", "Mlookups/s", "Speedup"},
+	}
+	t.Add("1 (RMI, per-key)", "1", fmt.Sprintf("%.2f", basePS/1e6), "(1.00x)")
+
+	var rows []ServeRow
+	for _, nsh := range []int{1, 4, 8, 16} {
+		st := serve.New(keys, core.Config{}, serve.Options{Shards: nsh})
+		for _, gor := range []int{1, 2, 4, 8} {
+			elapsed := timeBatches(st, probes, batchSize, gor, o.Rounds)
+			ps := float64(len(probes)) / elapsed.Seconds()
+			row := ServeRow{
+				Shards:     nsh,
+				Goroutines: gor,
+				BatchSize:  batchSize,
+				MLookupsPS: ps / 1e6,
+				SpeedUp:    ps / basePS,
+			}
+			rows = append(rows, row)
+			t.Add(fmt.Sprintf("%d", nsh), fmt.Sprintf("%d", gor),
+				fmt.Sprintf("%.2f", row.MLookupsPS), bench.Factor(row.SpeedUp))
+		}
+		st.Close()
+	}
+	render(o, t)
+	if o.Out != nil && runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(o.Out, "note: GOMAXPROCS=1 — goroutine rows cannot show parallel speedup on this host; run on a multi-core machine to see the concurrency axis.")
+	}
+	return rows
+}
+
+// timeBatches drives every probe through Store.LookupBatch in batches
+// pulled from a shared atomic cursor by gor goroutines, and returns the
+// best wall time over rounds.
+func timeBatches(st *serve.Store, probes []uint64, batchSize, gor, rounds int) time.Duration {
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	sink := int64(0)
+	for r := 0; r < rounds; r++ {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < gor; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := 0
+				for {
+					lo := int(cursor.Add(int64(batchSize))) - batchSize
+					if lo >= len(probes) {
+						break
+					}
+					hi := lo + batchSize
+					if hi > len(probes) {
+						hi = len(probes)
+					}
+					for _, p := range st.LookupBatch(probes[lo:hi]) {
+						local += p
+					}
+				}
+				atomic.AddInt64(&sink, int64(local))
+			}()
+		}
+		wg.Wait()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	_ = sink
+	return best
+}

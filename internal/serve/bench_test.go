@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+)
+
+const benchN = 1 << 20
+
+var (
+	bKeys   data.Keys
+	bProbes []uint64
+	bRMI    *core.RMI
+	bStore  *Store
+)
+
+func benchSetup() {
+	if bKeys != nil {
+		return
+	}
+	bKeys = data.Maps(benchN, 1)
+	bProbes = data.SampleExisting(bKeys, 1<<16, 2)
+	bRMI = core.New(bKeys, core.DefaultConfig(len(bKeys)/2000))
+	bStore = New(bKeys, core.Config{}, Options{Shards: 8})
+}
+
+// BenchmarkPerKeyLookup is the single-threaded baseline: per-key RMI
+// lookups over an unsorted probe stream.
+func BenchmarkPerKeyLookup(b *testing.B) {
+	benchSetup()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += bRMI.Lookup(bProbes[i&(1<<16-1)])
+	}
+	_ = sink
+}
+
+// BenchmarkRMIBatchSorted: the amortized batch primitive alone on a
+// pre-sorted batch (no sharding, no sort, no result mapping).
+func BenchmarkRMIBatchSorted(b *testing.B) {
+	benchSetup()
+	sorted := append([]uint64(nil), bProbes[:512]...)
+	slices.Sort(sorted)
+	out := make([]int, len(sorted))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bRMI.LookupBatchSorted(sorted, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(sorted)), "ns/key")
+}
+
+// BenchmarkStoreLookupBatch: the full serving path — sort, capture, shard
+// run-splitting, batch resolve, order mapping — over a rotating probe
+// stream (a fresh 512-probe window every call, so the key array is probed
+// at genuinely new positions).
+func BenchmarkStoreLookupBatch(b *testing.B) {
+	benchSetup()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i += 512 {
+		off := (n * 512) & (1<<16 - 1)
+		n++
+		bStore.LookupBatch(bProbes[off : off+512])
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/key")
+}
+
+// BenchmarkStoreLookupBatchParallel: the same path fanned across
+// GOMAXPROCS goroutines — reads are lock-free, so throughput scales with
+// cores (on a single-core box this only measures scheduling overhead).
+func BenchmarkStoreLookupBatchParallel(b *testing.B) {
+	benchSetup()
+	var cursor atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			off := int(cursor.Add(512)) & (1<<16 - 1)
+			bStore.LookupBatch(bProbes[off : off+512])
+		}
+	})
+}

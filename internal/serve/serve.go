@@ -1,0 +1,493 @@
+// Package serve is the concurrent serving layer over the learned index: a
+// range-sharded, RCU-style store built for the read-heavy traffic the paper
+// targets (§3.1 frames learned range indexes as in-memory serving
+// structures; the ROADMAP's north star is sharding + batching + concurrency
+// on top of them).
+//
+// # Architecture
+//
+// Keys are range-partitioned across N shards with boundaries picked from
+// the initial sorted key space, so every shard serves a contiguous key
+// range and a sorted probe batch decomposes into contiguous per-shard runs.
+// Each shard holds an immutable snapshot — its sorted key array plus the
+// RMI trained over it — behind an atomic.Pointer. Readers load the pointer
+// and never take a lock. Inserts append to a small per-shard buffer under a
+// mutex; when the buffer passes the merge threshold, a background goroutine
+// drains it: sort, dedup against the snapshot, merge into a fresh key
+// array, retrain the RMI off the hot path, and atomically publish the new
+// snapshot (classic read-copy-update).
+//
+// # Consistency model
+//
+//   - Reads (Lookup, Contains, LookupBatch, ContainsBatch, Len) are
+//     lock-free and see the latest *published* snapshot of each shard:
+//     per-shard snapshot isolation. A read never blocks on, nor is torn by,
+//     a concurrent merge.
+//   - Inserts are buffered and become visible only when their shard's
+//     buffer is drained — after the background merge (bounded staleness of
+//     one merge cycle) or a synchronous Flush, which acts as a visibility
+//     barrier for every insert that returned before it.
+//   - The store has set semantics: duplicate inserts and re-inserts of
+//     present keys are absorbed at merge time, so Len counts distinct
+//     committed keys exactly.
+//   - Positions returned by Lookup/LookupBatch are global lower-bound
+//     positions over a point-in-time capture of all shard snapshots (one
+//     atomic load per shard, taken once per call). Concurrent merges may
+//     shift positions between calls, but within a single call every
+//     position is consistent with the captured view.
+//   - A single Store method may be called from any number of goroutines
+//     concurrently with any other, including Insert, Flush, and Close.
+//     This package — not core.DeltaIndex, which is single-goroutine only —
+//     is the supported concurrent entry point.
+package serve
+
+import (
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/search"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of range partitions (default 8). More shards
+	// mean smaller retrains and less merge interference, at the cost of a
+	// larger capture per global lookup.
+	Shards int
+	// MergeThreshold is the per-shard buffered-insert count that wakes the
+	// background merger (default 4096).
+	MergeThreshold int
+}
+
+// snapshot is one shard's immutable published state. Nothing in it is ever
+// mutated after publication; replacement is by pointer swap.
+type snapshot struct {
+	keys []uint64
+	rmi  *core.RMI
+}
+
+type shard struct {
+	snap atomic.Pointer[snapshot]
+	// mergeMu serializes drains so at most one retrain per shard runs at a
+	// time (background merger and Flush may race to drain the same shard).
+	mergeMu sync.Mutex
+	// mu protects buf, the unordered insert buffer.
+	mu  sync.Mutex
+	buf []uint64
+}
+
+// Store is the sharded serving layer. Create with New, release with Close.
+type Store struct {
+	bounds  []uint64 // len(shards)-1 split keys; shard i serves [bounds[i-1], bounds[i])
+	shards  []*shard
+	cfg     core.Config
+	thresh  int
+	mergeCh chan int
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	merges  atomic.Int64
+}
+
+// New builds a Store over the initial keys (any order; duplicates are
+// dropped) and starts the background merger. cfg configures every shard's
+// RMI; leave cfg.StageSizes empty to let each shard size its leaf stage to
+// its own key count — a fixed leaf count is shared by all shards and all
+// retrains, which is rarely what a growing shard wants.
+func New(keys []uint64, cfg core.Config, opt Options) *Store {
+	nsh := opt.Shards
+	if nsh <= 0 {
+		nsh = 8
+	}
+	thresh := opt.MergeThreshold
+	if thresh <= 0 {
+		thresh = 4096
+	}
+	sorted := append([]uint64(nil), keys...)
+	slices.Sort(sorted)
+	sorted = dedupSorted(sorted)
+
+	// Sanitize the stage-size slice once so concurrent retrains share a
+	// read-only copy (core.New clamps entries < 1 in place).
+	if len(cfg.StageSizes) > 0 {
+		ss := append([]int(nil), cfg.StageSizes...)
+		for i := range ss {
+			if ss[i] < 1 {
+				ss[i] = 1
+			}
+		}
+		cfg.StageSizes = ss
+	}
+
+	s := &Store{
+		cfg:     cfg,
+		thresh:  thresh,
+		mergeCh: make(chan int, nsh),
+		quit:    make(chan struct{}),
+	}
+	n := len(sorted)
+	if n > 0 && nsh > 1 {
+		s.bounds = make([]uint64, 0, nsh-1)
+		for i := 1; i < nsh; i++ {
+			s.bounds = append(s.bounds, sorted[i*n/nsh])
+		}
+	}
+	s.shards = make([]*shard, nsh)
+	lo := 0
+	for i := range s.shards {
+		hi := n
+		if i < len(s.bounds) {
+			hi = search.Binary(sorted, s.bounds[i], lo, n)
+		}
+		part := sorted[lo:hi:hi]
+		sh := &shard{}
+		sh.snap.Store(&snapshot{keys: part, rmi: core.New(part, cfg)})
+		s.shards[i] = sh
+		lo = hi
+	}
+	s.wg.Add(1)
+	go s.merger()
+	return s
+}
+
+// shardFor routes a key to its range partition: the shard whose
+// [bounds[i-1], bounds[i]) window contains it.
+func (s *Store) shardFor(key uint64) int {
+	return sort.Search(len(s.bounds), func(i int) bool { return key < s.bounds[i] })
+}
+
+// Insert buffers a key for its shard and wakes the merger once the buffer
+// passes the threshold. The key becomes visible to readers at the next
+// drain (background merge or Flush).
+func (s *Store) Insert(key uint64) {
+	i := s.shardFor(key)
+	sh := s.shards[i]
+	sh.mu.Lock()
+	sh.buf = append(sh.buf, key)
+	full := len(sh.buf) >= s.thresh
+	sh.mu.Unlock()
+	if full {
+		select {
+		case s.mergeCh <- i:
+		default: // merger already has work queued; a later insert re-notifies
+		}
+	}
+}
+
+// merger is the background goroutine: it drains whichever shard crossed
+// its threshold, and on shutdown drains everything so Close is a barrier.
+func (s *Store) merger() {
+	defer s.wg.Done()
+	for {
+		select {
+		case i := <-s.mergeCh:
+			s.drain(i)
+			s.sweep()
+		case <-s.quit:
+			for i := range s.shards {
+				s.drain(i)
+			}
+			return
+		}
+	}
+}
+
+// sweep drains every shard whose buffer crossed the threshold while the
+// merger was busy: a hot shard can fill mergeCh with its own index, so a
+// cold shard's single notification may have been dropped. The post-drain
+// sweep restores the bounded-staleness promise for those shards.
+func (s *Store) sweep() {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		over := len(sh.buf) >= s.thresh
+		sh.mu.Unlock()
+		if over {
+			s.drain(i)
+		}
+	}
+}
+
+// drain merges shard i's buffer into a fresh snapshot and publishes it.
+// Readers are never blocked: the retrain happens on a private copy and the
+// swap is a single atomic store.
+func (s *Store) drain(i int) {
+	sh := s.shards[i]
+	sh.mergeMu.Lock()
+	defer sh.mergeMu.Unlock()
+	sh.mu.Lock()
+	buf := sh.buf
+	sh.buf = nil
+	sh.mu.Unlock()
+	if len(buf) == 0 {
+		return
+	}
+	slices.Sort(buf)
+	buf = dedupSorted(buf)
+	cur := sh.snap.Load()
+	merged := mergeDedup(cur.keys, buf)
+	if len(merged) == len(cur.keys) {
+		return // every buffered key was already present
+	}
+	sh.snap.Store(&snapshot{keys: merged, rmi: core.New(merged, s.cfg)})
+	s.merges.Add(1)
+}
+
+// Flush synchronously drains every shard: a visibility barrier making all
+// previously returned Inserts readable.
+func (s *Store) Flush() {
+	for i := range s.shards {
+		s.drain(i)
+	}
+}
+
+// Close stops the background merger after a final drain of every shard.
+// Safe to call more than once; the Store remains readable afterwards, and
+// Flush keeps working (drains run in the caller). An Insert racing Close
+// can land just after the shutdown drain — the trailing Flush below
+// publishes those; an Insert that starts after Close returns stays
+// buffered until the caller's next Flush.
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait()
+	s.Flush()
+}
+
+// view is a point-in-time capture of every shard's published snapshot plus
+// the global position offset of each shard's first key.
+type view struct {
+	snaps []*snapshot
+	offs  []int
+}
+
+// Lookup returns the global lower-bound position of key over the committed
+// view: the index of the first committed key >= key. Allocation-free: it
+// captures only the snapshots it reads (one atomic load per shard).
+func (s *Store) Lookup(key uint64) int {
+	i := s.shardFor(key)
+	total := 0
+	for j := 0; j < i; j++ {
+		total += len(s.shards[j].snap.Load().keys)
+	}
+	return total + s.shards[i].snap.Load().rmi.Lookup(key)
+}
+
+// Contains reports whether key is committed.
+func (s *Store) Contains(key uint64) bool {
+	return s.shards[s.shardFor(key)].snap.Load().rmi.Contains(key)
+}
+
+// Len returns the number of distinct committed keys.
+func (s *Store) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.snap.Load().keys)
+	}
+	return total
+}
+
+// Pending returns the number of buffered (not yet visible) inserts,
+// counting duplicates that a drain would absorb.
+func (s *Store) Pending() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.buf)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Merges returns how many snapshot publications have happened.
+func (s *Store) Merges() int { return int(s.merges.Load()) }
+
+// NumShards returns the partition count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// LookupBatch answers Lookup for every probe, in probe order, against one
+// consistent captured view. The batch is sorted once; contiguous runs of
+// sorted probes route to their shard with a single boundary search per run,
+// and within a run the RMI amortizes stage routing across adjacent keys
+// (core.RMI.LookupBatchSorted) — the model prunes each probe's search range
+// before any key is touched.
+func (s *Store) LookupBatch(probes []uint64) []int {
+	out := make([]int, len(probes))
+	if len(probes) == 0 {
+		return out
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	_, _, pos, perm := s.batchPositions(probes, sc)
+	if perm == nil {
+		copy(out, pos)
+	} else {
+		for j, o := range perm {
+			out[o] = pos[j]
+		}
+	}
+	sc.release()
+	return out
+}
+
+// ContainsBatch reports membership for every probe, in probe order,
+// against one consistent captured view.
+func (s *Store) ContainsBatch(probes []uint64) []bool {
+	out := make([]bool, len(probes))
+	if len(probes) == 0 {
+		return out
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	v, skeys, pos, perm := s.batchPositions(probes, sc)
+	defer sc.release()
+	si := 0
+	for j, k := range skeys { // sorted order: the shard index only advances
+		for si < len(s.bounds) && k >= s.bounds[si] {
+			si++
+		}
+		p := pos[j] - v.offs[si]
+		ks := v.snaps[si].keys
+		hit := p >= 0 && p < len(ks) && ks[p] == k
+		if perm == nil {
+			out[j] = hit
+		} else {
+			out[perm[j]] = hit
+		}
+	}
+	return out
+}
+
+// batchPositions is the shared batch engine: sort the probes once
+// (carrying the original indexes), capture the view, split the sorted
+// probes into per-shard runs, and resolve each run with the amortized
+// batch lookup. skeys and pos are in ascending probe order; perm maps a
+// sorted slot back to its original probe index, and is nil when the input
+// was already ascending (the scan-shaped fast path — then pos is directly
+// in probe order). All working memory comes from sc, so a steady-state
+// batch costs one allocation (the caller's result slice).
+func (s *Store) batchPositions(probes []uint64, sc *batchScratch) (v view, skeys []uint64, pos []int, perm []int32) {
+	n := len(probes)
+	if slices.IsSorted(probes) {
+		skeys = probes
+	} else {
+		pairs := grow(&sc.pairs, n)
+		for i, k := range probes {
+			pairs[i] = probeSlot{k: k, i: int32(i)}
+		}
+		slices.SortFunc(pairs, func(a, b probeSlot) int {
+			switch {
+			case a.k < b.k:
+				return -1
+			case a.k > b.k:
+				return 1
+			}
+			return 0
+		})
+		skeys = grow(&sc.skeys, n)
+		perm = grow(&sc.perm, n)
+		for j := range pairs {
+			skeys[j] = pairs[j].k
+			perm[j] = pairs[j].i
+		}
+	}
+	v = view{snaps: grow(&sc.snaps, len(s.shards)), offs: grow(&sc.offs, len(s.shards))}
+	total := 0
+	for i, sh := range s.shards {
+		v.snaps[i] = sh.snap.Load()
+		v.offs[i] = total
+		total += len(v.snaps[i].keys)
+	}
+	pos = grow(&sc.pos, n)
+	start := 0
+	for start < n {
+		si := s.shardFor(skeys[start])
+		end := n
+		if si < len(s.bounds) {
+			end = search.Binary(skeys, s.bounds[si], start, n)
+		}
+		v.snaps[si].rmi.LookupBatchSorted(skeys[start:end], pos[start:end])
+		for j := start; j < end; j++ {
+			pos[j] += v.offs[si]
+		}
+		start = end
+	}
+	return v, skeys, pos, perm
+}
+
+// probeSlot carries a probe and its original batch index through the sort.
+type probeSlot struct {
+	k uint64
+	i int32
+}
+
+// batchScratch is the reusable working memory of one batch call: sort
+// pairs, sorted keys, permutation, positions, and the captured view. The
+// pool keeps steady-state batches at a single allocation (the result).
+type batchScratch struct {
+	pairs []probeSlot
+	skeys []uint64
+	perm  []int32
+	pos   []int
+	snaps []*snapshot
+	offs  []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// release drops snapshot references (so a pooled scratch never pins
+// superseded shard arrays) and returns the scratch to the pool.
+func (sc *batchScratch) release() {
+	for i := range sc.snaps {
+		sc.snaps[i] = nil
+	}
+	scratchPool.Put(sc)
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	return (*buf)[:n]
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(ks []uint64) []uint64 {
+	if len(ks) == 0 {
+		return ks
+	}
+	dst := ks[:1]
+	for _, v := range ks[1:] {
+		if v != dst[len(dst)-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// mergeDedup merges sorted base with sorted, deduped extra, skipping extra
+// keys already in base. The result is a fresh array (base stays immutable).
+func mergeDedup(base, extra []uint64) []uint64 {
+	merged := make([]uint64, 0, len(base)+len(extra))
+	i, j := 0, 0
+	for i < len(base) && j < len(extra) {
+		switch {
+		case base[i] < extra[j]:
+			merged = append(merged, base[i])
+			i++
+		case base[i] > extra[j]:
+			merged = append(merged, extra[j])
+			j++
+		default:
+			merged = append(merged, base[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, base[i:]...)
+	merged = append(merged, extra[j:]...)
+	return merged
+}

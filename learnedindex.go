@@ -17,6 +17,7 @@ package learnedindex
 
 import (
 	"learnedindex/internal/core"
+	"learnedindex/internal/serve"
 )
 
 // Range index (§2–3): the Recursive Model Index.
@@ -39,8 +40,20 @@ type (
 	StringConfig = core.StringConfig
 
 	// DeltaIndex adds insert support through the buffered-merge strategy of
-	// Appendix D.1.
+	// Appendix D.1. It is single-goroutine only; use Store for concurrency.
 	DeltaIndex = core.DeltaIndex
+)
+
+// Serving layer: the concurrent entry point (internal/serve).
+type (
+	// Store is the thread-safe sharded serving layer: range-partitioned
+	// shards, lock-free RCU-style reads, buffered inserts merged and
+	// retrained by a background goroutine, and batched lookups that
+	// amortize model routing across a sorted probe batch. See the package
+	// comment of internal/serve for the consistency model.
+	Store = serve.Store
+	// StoreOptions sets the shard count and per-shard merge threshold.
+	StoreOptions = serve.Options
 )
 
 // Point index (§4): learned hash functions.
@@ -88,6 +101,9 @@ var (
 	DefaultStringConfig = core.DefaultStringConfig
 	// NewDelta wraps an RMI with an insert buffer (Appendix D.1).
 	NewDelta = core.NewDelta
+	// NewStore builds the concurrent sharded serving layer and starts its
+	// background merger; Close it when done.
+	NewStore = serve.New
 	// NewLearnedHash trains a CDF hash targeting a slot count (§4.1).
 	NewLearnedHash = core.NewLearnedHash
 	// NewLearnedHashFromRMI reuses a trained RMI as the CDF model.
