@@ -5,10 +5,13 @@
 //	lix-bench [flags] <experiment>...
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
-// figure11, table1, appendixA, appendixE, serve, all (everything except
-// the GRU-training path of figure10; add -gru to include it). serve is
-// this repo's extension beyond the paper: single-threaded per-key lookups
-// vs the sharded concurrent batch serving layer.
+// figure11, table1, appendixA, appendixE, serve, storage, all (everything
+// except the GRU-training path of figure10; add -gru to include it).
+// serve and storage are this repo's extensions beyond the paper: serve is
+// single-threaded per-key lookups vs the sharded concurrent batch serving
+// layer; storage is the persistent learned-segment engine — WAL ingest,
+// on-disk lookup throughput, and cold-open latency vs the in-memory RMI
+// (-dir controls where its segment files are written).
 //
 // Flags scale the run; defaults are laptop-sized with the paper's ratios
 // preserved (see DESIGN.md §3).
@@ -31,17 +34,19 @@ func main() {
 	rounds := flag.Int("rounds", 3, "timing rounds")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	gru := flag.Bool("gru", false, "train the GRU series in figure10 (slow)")
+	dir := flag.String("dir", os.TempDir(), "directory for the storage experiment's segment files")
 	flag.Parse()
 
 	opts := experiments.Options{
 		N: *n, NStr: *nstr, NUrl: *nurl,
 		Probes: *probes, Rounds: *rounds, Seed: *seed,
+		Dir: *dir,
 		Out: os.Stdout,
 	}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|all>...")
 		os.Exit(2)
 	}
 	for _, exp := range args {
@@ -74,8 +79,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.AppendixE(opts)
 	case "serve":
 		experiments.Serve(opts)
+	case "storage":
+		experiments.Storage(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage"} {
 			run(e, opts, gru)
 		}
 		return

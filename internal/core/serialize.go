@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"learnedindex/internal/binenc"
+	"learnedindex/internal/ml"
+)
+
+// RMI serialization. The encoding holds everything a trained index knows
+// except the key array itself — config, top model, inner stage models,
+// leaves with their error windows, and hybrid B-Tree offsets — so a
+// segment file stores keys once and the model binds to them at decode
+// time. This is the storage engine's "no retraining on cold open"
+// contract: DecodeRMI rebuilds a serving-ready index from bytes plus the
+// externally stored sorted keys.
+//
+// Bump rmiFormatVersion on any layout change; the segment magic in
+// internal/storage should move with it so old files fail cleanly.
+const rmiFormatVersion = 1
+
+// Decode bounds, sized well past anything New can produce at sane scale
+// while keeping hostile counts from allocating gigabytes.
+const (
+	maxStages    = 16
+	maxHiddenLen = 8
+)
+
+// AppendBinary appends the RMI's encoding (keys excluded) to b. It fails
+// only when the top model is unencodable (a custom-menu Multivariate).
+func (r *RMI) AppendBinary(b []byte) ([]byte, error) {
+	b = binenc.AppendUvarint(b, rmiFormatVersion)
+	b = binenc.AppendUvarint(b, uint64(len(r.keys)))
+
+	// Config.
+	b = binenc.AppendUvarint(b, uint64(r.cfg.Top))
+	b = binenc.AppendUvarint(b, uint64(len(r.cfg.Hidden)))
+	for _, h := range r.cfg.Hidden {
+		b = binenc.AppendUvarint(b, uint64(h))
+	}
+	b = binenc.AppendUvarint(b, uint64(len(r.cfg.StageSizes)))
+	for _, s := range r.cfg.StageSizes {
+		b = binenc.AppendUvarint(b, uint64(s))
+	}
+	b = binenc.AppendUvarint(b, uint64(r.cfg.Search))
+	b = binenc.AppendVarint(b, int64(r.cfg.HybridThreshold))
+	b = binenc.AppendVarint(b, int64(r.cfg.HybridPageSize))
+	b = binenc.AppendVarint(b, int64(r.cfg.SubsampleTop))
+	b = binenc.AppendVarint(b, r.cfg.Seed)
+
+	// Top model.
+	tb, err := ml.AppendModel(nil, r.top)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode RMI top: %w", err)
+	}
+	b = binenc.AppendBytes(b, tb)
+
+	// Inner stages.
+	b = binenc.AppendUvarint(b, uint64(len(r.stages)))
+	for _, st := range r.stages {
+		b = binenc.AppendUvarint(b, uint64(len(st)))
+		for _, m := range st {
+			b = binenc.AppendF64(b, m.a)
+			b = binenc.AppendF64(b, m.b)
+		}
+	}
+
+	// Leaves.
+	b = binenc.AppendUvarint(b, uint64(len(r.leaves)))
+	for i := range r.leaves {
+		lf := &r.leaves[i]
+		b = binenc.AppendF64(b, lf.m.a)
+		b = binenc.AppendF64(b, lf.m.b)
+		b = binenc.AppendVarint(b, int64(lf.minErr))
+		b = binenc.AppendVarint(b, int64(lf.maxErr))
+		b = binenc.AppendF64(b, float64(lf.stdErr))
+		b = binenc.AppendVarint(b, int64(lf.n))
+		// Hybrid replacement: 0 = none; otherwise 1+len(btPos) so an empty
+		// (but present) B-Tree is distinguishable from no B-Tree.
+		if lf.btPos == nil {
+			b = binenc.AppendUvarint(b, 0)
+			continue
+		}
+		b = binenc.AppendUvarint(b, uint64(1+len(lf.btPos)))
+		prev := int64(0)
+		for _, p := range lf.btPos {
+			b = binenc.AppendVarint(b, int64(p)-prev) // ascending: small deltas
+			prev = int64(p)
+		}
+		b = binenc.AppendUvarint(b, uint64(len(lf.btSep)))
+		for _, s := range lf.btSep {
+			b = binenc.AppendUvarint(b, s)
+		}
+	}
+
+	// Reporting stats.
+	b = binenc.AppendF64(b, r.meanAbsErr)
+	b = binenc.AppendVarint(b, int64(r.maxAbsErr))
+	b = binenc.AppendVarint(b, int64(r.numHybrid))
+	return b, nil
+}
+
+// DecodeRMI rebuilds a serving-ready RMI from enc, binding it to keys —
+// the same sorted unique array the encoded index was trained over (the
+// stored key count is cross-checked). Every structural invariant the
+// lookup path relies on is validated, so corrupt bytes produce an error,
+// never a panic at decode or lookup time.
+func DecodeRMI(enc []byte, keys []uint64) (*RMI, error) {
+	rd := binenc.NewReader(enc)
+	if v := rd.Uvarint(); v != rmiFormatVersion {
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		return nil, fmt.Errorf("core: RMI format version %d, want %d: %w", v, rmiFormatVersion, binenc.ErrCorrupt)
+	}
+	if n := rd.Uvarint(); n != uint64(len(keys)) {
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		return nil, fmt.Errorf("core: RMI trained over %d keys, bound to %d: %w", n, len(keys), binenc.ErrCorrupt)
+	}
+
+	r := &RMI{keys: keys, nf: float64(len(keys))}
+	r.cfg.Top = TopKind(rd.Uvarint())
+	nh := rd.Count(maxHiddenLen, 1)
+	for i := 0; i < nh; i++ {
+		r.cfg.Hidden = append(r.cfg.Hidden, int(rd.Uvarint()))
+	}
+	ns := rd.Count(maxStages, 1)
+	for i := 0; i < ns; i++ {
+		r.cfg.StageSizes = append(r.cfg.StageSizes, int(rd.Uvarint()))
+	}
+	r.cfg.Search = SearchKind(rd.Uvarint())
+	r.cfg.HybridThreshold = int(rd.Varint())
+	r.cfg.HybridPageSize = int(rd.Varint())
+	r.cfg.SubsampleTop = int(rd.Varint())
+	r.cfg.Seed = rd.Varint()
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	if ns == 0 || r.cfg.HybridPageSize < 1 {
+		return nil, binenc.ErrCorrupt
+	}
+	for _, s := range r.cfg.StageSizes {
+		if s < 1 || s > len(enc) {
+			return nil, binenc.ErrCorrupt
+		}
+	}
+
+	top, err := ml.DecodeModel(binenc.NewReader(rd.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	r.top = top
+
+	// Inner stages: counts must mirror StageSizes[:last] exactly — routeTo
+	// indexes r.stages[s-1][idx] with idx < StageSizes[s-1].
+	nInner := rd.Count(maxStages, 1)
+	if nInner != ns-1 {
+		return nil, binenc.ErrCorrupt
+	}
+	for s := 0; s < nInner; s++ {
+		size := rd.Count(len(enc), 16)
+		if size != r.cfg.StageSizes[s] {
+			return nil, binenc.ErrCorrupt
+		}
+		st := make([]linmod, size)
+		for j := range st {
+			st[j].a = rd.F64()
+			st[j].b = rd.F64()
+		}
+		r.stages = append(r.stages, st)
+	}
+
+	// Leaves: the count must match the last stage size, except for the
+	// empty-index shape (New over zero keys builds a single leaf regardless
+	// of StageSizes; Lookup then short-circuits before routing).
+	nLeaves := rd.Count(len(enc), 16)
+	if len(keys) == 0 {
+		if nLeaves < 1 {
+			return nil, binenc.ErrCorrupt
+		}
+	} else if nLeaves != r.cfg.StageSizes[ns-1] {
+		return nil, binenc.ErrCorrupt
+	}
+	r.leaves = make([]leaf, nLeaves)
+	for i := range r.leaves {
+		lf := &r.leaves[i]
+		lf.m.a = rd.F64()
+		lf.m.b = rd.F64()
+		lf.minErr = int32(rd.Varint())
+		lf.maxErr = int32(rd.Varint())
+		lf.stdErr = float32(rd.F64())
+		lf.n = int32(rd.Varint())
+		nb := rd.Count(len(keys)+1, 1)
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		if nb == 0 {
+			continue
+		}
+		np := nb - 1
+		lf.btPos = make([]int32, np)
+		prev := int64(0)
+		for j := range lf.btPos {
+			prev += rd.Varint()
+			// Offsets index the bound key array; lookupHybrid reads
+			// keys[btPos[j]] unchecked, and relies on ascending order.
+			if prev < 0 || prev >= int64(len(keys)) {
+				return nil, binenc.ErrCorrupt
+			}
+			lf.btPos[j] = int32(prev)
+		}
+		nsep := rd.Count(len(keys)+1, 1)
+		// lookupHybrid derives the page window from the separator index, so
+		// the separator count must be exactly ceil(np / pageSize).
+		want := (np + r.cfg.HybridPageSize - 1) / r.cfg.HybridPageSize
+		if rd.Err() != nil || nsep != want {
+			return nil, binenc.ErrCorrupt
+		}
+		lf.btSep = make([]uint64, nsep)
+		for j := range lf.btSep {
+			lf.btSep[j] = rd.Uvarint()
+		}
+	}
+
+	r.meanAbsErr = rd.F64()
+	r.maxAbsErr = int(rd.Varint())
+	r.numHybrid = int(rd.Varint())
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	return r, nil
+}

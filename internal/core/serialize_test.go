@@ -1,0 +1,135 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+// goldenRMIHash pins the serialized byte layout of the fixed-seed,
+// linear-top RMI below. Any format drift — field order, varint vs fixed,
+// new fields — breaks this hash; an intentional change must bump
+// rmiFormatVersion (and the storage segment magic) along with it.
+const goldenRMIHash = "c2deacc04a175964665b18799c9681e76aeeb778a0a6f56b325635ff380c5be4"
+
+// roundTrip encodes r, decodes it against the same keys, and fails the
+// test on any error.
+func roundTrip(t *testing.T, r *RMI) *RMI {
+	t.Helper()
+	enc, err := r.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeRMI(enc, r.Keys())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return dec
+}
+
+// assertIdentical checks that two RMIs answer identically on members,
+// misses, and raw predictions.
+func assertIdentical(t *testing.T, name string, r, dec *RMI, probes []uint64) {
+	t.Helper()
+	if !reflect.DeepEqual(r.Config(), dec.Config()) {
+		t.Fatalf("%s: config drifted: %+v vs %+v", name, r.Config(), dec.Config())
+	}
+	if r.SizeBytes() != dec.SizeBytes() || r.NumLeaves() != dec.NumLeaves() || r.NumHybrid() != dec.NumHybrid() {
+		t.Fatalf("%s: shape drifted", name)
+	}
+	if r.MeanAbsErr() != dec.MeanAbsErr() || r.MaxAbsErr() != dec.MaxAbsErr() {
+		t.Fatalf("%s: error stats drifted", name)
+	}
+	for _, k := range probes {
+		if a, b := r.Lookup(k), dec.Lookup(k); a != b {
+			t.Fatalf("%s: Lookup(%d) = %d, decoded %d", name, k, a, b)
+		}
+		p1, lo1, hi1 := r.Predict(k)
+		p2, lo2, hi2 := dec.Predict(k)
+		if p1 != p2 || lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("%s: Predict(%d) diverged: (%d,%d,%d) vs (%d,%d,%d)", name, k, p1, lo1, hi1, p2, lo2, hi2)
+		}
+	}
+}
+
+func TestRMISerializeRoundTrip(t *testing.T) {
+	keys := data.LognormalPaper(40_000, 11)
+	rng := rand.New(rand.NewSource(13))
+	probes := append(data.SampleExisting(keys, 2000, 14), data.SampleMissing(keys, 2000, 15)...)
+	probes = append(probes, 0, 1, keys[0], keys[len(keys)-1], keys[len(keys)-1]+1, ^uint64(0))
+	for i := 0; i < 100; i++ {
+		probes = append(probes, rng.Uint64())
+	}
+
+	cases := map[string]Config{
+		"linear-default": DefaultConfig(400),
+		"multivariate":   {Top: TopMultivariate, StageSizes: []int{200}, Search: SearchQuaternary, Seed: 1},
+		"nn-top":         {Top: TopNN, Hidden: []int{8}, StageSizes: []int{100}, Search: SearchBinary, Seed: 1, SubsampleTop: 20_000},
+		"hybrid":         {Top: TopLinear, StageSizes: []int{50}, Search: SearchModelBiased, HybridThreshold: 8, HybridPageSize: 16, Seed: 1},
+		"multi-stage":    {Top: TopLinear, StageSizes: []int{8, 64, 400}, Search: SearchExponential, Seed: 1},
+	}
+	for name, cfg := range cases {
+		r := New(keys, cfg)
+		if name == "hybrid" && r.NumHybrid() == 0 {
+			t.Fatalf("hybrid case built no B-Tree leaves; tighten the threshold")
+		}
+		assertIdentical(t, name, r, roundTrip(t, r), probes)
+	}
+
+	// Empty index: New(nil) has a degenerate one-leaf shape.
+	empty := New(nil, DefaultConfig(16))
+	dec := roundTrip(t, empty)
+	if dec.Lookup(42) != 0 || len(dec.Keys()) != 0 {
+		t.Fatal("empty index did not round-trip")
+	}
+}
+
+func TestRMIGoldenFormat(t *testing.T) {
+	keys := data.Dense(10_000, 1_000, 7) // fully deterministic key set
+	r := New(keys, DefaultConfig(64))
+	enc, err := r.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	sum := sha256.Sum256(enc)
+	if got := hex.EncodeToString(sum[:]); got != goldenRMIHash {
+		t.Fatalf("RMI serialization format drifted:\n got %s\nwant %s\n"+
+			"(an intentional change must bump rmiFormatVersion and this hash)", got, goldenRMIHash)
+	}
+}
+
+func TestRMIDecodeRejectsCorrupt(t *testing.T) {
+	keys := data.Dense(5_000, 10, 3)
+	r := New(keys, Config{Top: TopLinear, StageSizes: []int{4, 50}, HybridThreshold: 4, Seed: 1})
+	enc, err := r.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeRMI(enc, keys[:100]); err == nil {
+		t.Error("decode against wrong key count succeeded")
+	}
+	for _, trunc := range []int{0, 1, 3, len(enc) / 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeRMI(enc[:trunc], keys); err == nil {
+			t.Errorf("truncation at %d decoded without error", trunc)
+		}
+	}
+	// Bit flips must either fail decode or at minimum never panic on
+	// decode+lookup (structural invariants are validated; model floats are
+	// free to change predictions).
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		bad := append([]byte(nil), enc...)
+		bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		dec, err := DecodeRMI(bad, keys)
+		if err != nil {
+			continue
+		}
+		for _, k := range []uint64{0, keys[17], keys[len(keys)-1], ^uint64(0)} {
+			_ = dec.Lookup(k) // must not panic
+		}
+	}
+}

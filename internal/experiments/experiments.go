@@ -25,7 +25,11 @@ type Options struct {
 	Probes int   // lookup probes per measurement (default 200k)
 	Rounds int   // timing rounds (default 3)
 	Seed   int64 // dataset seed
-	Out    io.Writer
+	// Dir is where the storage experiment writes its segment files; empty
+	// means the OS temp directory. A unique subdirectory is created and
+	// removed per run either way.
+	Dir string
+	Out io.Writer
 }
 
 func (o Options) withDefaults() Options {

@@ -206,6 +206,34 @@ func TestAppendixAScaling(t *testing.T) {
 	}
 }
 
+func TestStorageShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := Storage(o)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	ingest, cold := rows[1], rows[2]
+	// The acceptance property: a cold open serves from deserialized
+	// segment models only — zero RMIs trained, everything loaded.
+	if cold.ModelsTrained != 0 {
+		t.Errorf("cold open trained %d models, want 0", cold.ModelsTrained)
+	}
+	if cold.ModelsLoaded == 0 || cold.Segments == 0 {
+		t.Errorf("cold open loaded nothing: %+v", cold)
+	}
+	if ingest.Segments == 0 || ingest.DiskBytes == 0 {
+		t.Errorf("ingest produced no on-disk state: %+v", ingest)
+	}
+	for _, r := range rows {
+		if r.HitNs <= 0 || r.MissNs <= 0 {
+			t.Errorf("%s: no measurement", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "0 retrains") {
+		t.Fatal("cold-open summary not rendered")
+	}
+}
+
 func TestAppendixERuns(t *testing.T) {
 	o, buf := tiny()
 	AppendixE(o)

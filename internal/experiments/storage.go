@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/serve"
+)
+
+// StorageRow is one measured storage configuration.
+type StorageRow struct {
+	Name          string
+	BuildOrOpen   time.Duration // training/ingest time, or cold-open time
+	HitNs         float64       // per-lookup latency on present keys
+	MissNs        float64       // per-lookup latency on absent keys
+	Segments      int
+	DiskBytes     int64
+	ModelsLoaded  int // RMIs deserialized from segment files
+	ModelsTrained int // RMIs trained in this phase
+}
+
+// Storage measures the persistent learned-segment engine (internal/storage
+// behind serve.Options.Dir) against the in-memory RMI baseline, in three
+// phases: (1) the baseline monolithic RMI, trained and probed in memory;
+// (2) ingest — keys inserted in batches through the WAL, flushed into
+// segment files, compacted, and probed from the live store; (3) cold open
+// — the directory reopened from scratch, where every per-segment RMI and
+// Bloom filter is deserialized (zero models trained) and lookups are
+// served straight off the recovered state. Misses exercise the Bloom
+// filters' negative-lookup pruning (§5 applied as segment skipping).
+func Storage(o Options) []StorageRow {
+	o = o.withDefaults()
+	keys := cachedKeys("maps", o.N, o.Seed, func() data.Keys { return data.Maps(o.N, o.Seed) })
+	hits := data.SampleExisting(keys, o.Probes, o.Seed+1)
+	misses := data.SampleMissing(keys, o.Probes, o.Seed+2)
+
+	dir, err := os.MkdirTemp(o.Dir, "lix-storage-*")
+	if err != nil {
+		panic(fmt.Sprintf("storage experiment: %v", err))
+	}
+	defer os.RemoveAll(dir)
+
+	var rows []StorageRow
+
+	// Phase 1: in-memory baseline.
+	start := time.Now()
+	r := core.New(keys, core.DefaultConfig(len(keys)/2000))
+	trainTime := time.Since(start)
+	rows = append(rows, StorageRow{
+		Name:          "in-memory RMI",
+		BuildOrOpen:   trainTime,
+		HitNs:         float64(bench.TimeLookups(hits, o.Rounds, r.Lookup).Nanoseconds()),
+		MissNs:        float64(bench.TimeLookups(misses, o.Rounds, r.Lookup).Nanoseconds()),
+		ModelsTrained: 1,
+	})
+
+	// Phase 2: ingest through the WAL in batches so several segments (and
+	// at least one compaction tier) exist, then probe the live store.
+	start = time.Now()
+	st, err := serve.Open(nil, core.Config{}, serve.Options{Dir: dir, MergeThreshold: 1 << 30})
+	if err != nil {
+		panic(fmt.Sprintf("storage experiment: open: %v", err))
+	}
+	const batches = 8
+	for b := 0; b < batches; b++ {
+		lo, hi := b*len(keys)/batches, (b+1)*len(keys)/batches
+		for _, k := range keys[lo:hi] {
+			st.Insert(k)
+		}
+		if err := st.Sync(); err != nil {
+			panic(fmt.Sprintf("storage experiment: sync: %v", err))
+		}
+		st.Flush()
+	}
+	ingestTime := time.Since(start)
+	stats, _ := st.StorageStats()
+	rows = append(rows, StorageRow{
+		Name:          "engine ingest (WAL+flush)",
+		BuildOrOpen:   ingestTime,
+		HitNs:         float64(bench.TimeLookups(hits, o.Rounds, st.Lookup).Nanoseconds()),
+		MissNs:        float64(bench.TimeLookups(misses, o.Rounds, containsAsInt(st)).Nanoseconds()),
+		Segments:      stats.Segments,
+		DiskBytes:     stats.DiskBytes,
+		ModelsLoaded:  stats.ModelsLoaded,
+		ModelsTrained: stats.ModelsTrained,
+	})
+	if err := st.Close(); err != nil {
+		panic(fmt.Sprintf("storage experiment: close: %v", err))
+	}
+
+	// Phase 3: cold open — deserialized models only.
+	start = time.Now()
+	cold, err := serve.Open(nil, core.Config{}, serve.Options{Dir: dir})
+	if err != nil {
+		panic(fmt.Sprintf("storage experiment: cold open: %v", err))
+	}
+	defer cold.Close()
+	openTime := time.Since(start)
+	if cold.Len() != len(keys) {
+		panic(fmt.Sprintf("storage experiment: cold open lost keys: %d != %d", cold.Len(), len(keys)))
+	}
+	for _, k := range hits[:min(len(hits), 200)] {
+		if !cold.Contains(k) {
+			panic(fmt.Sprintf("storage experiment: cold open lost key %d", k))
+		}
+	}
+	cstats, _ := cold.StorageStats()
+	rows = append(rows, StorageRow{
+		Name:          "engine cold open",
+		BuildOrOpen:   openTime,
+		HitNs:         float64(bench.TimeLookups(hits, o.Rounds, cold.Lookup).Nanoseconds()),
+		MissNs:        float64(bench.TimeLookups(misses, o.Rounds, containsAsInt(cold)).Nanoseconds()),
+		Segments:      cstats.Segments,
+		DiskBytes:     cstats.DiskBytes,
+		ModelsLoaded:  cstats.ModelsLoaded,
+		ModelsTrained: cstats.ModelsTrained,
+	})
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("Storage engine: durability & cold-open serving (%d keys, %d probes, dir %s)",
+			len(keys), len(hits), dir),
+		Headers: []string{"Config", "Build/Open (ms)", "Hit (ns)", "Miss (ns)", "Segments", "Disk (MB)", "Models loaded/trained"},
+	}
+	for _, row := range rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%.1f", float64(row.BuildOrOpen.Microseconds())/1000),
+			fmt.Sprintf("%.0f", row.HitNs),
+			fmt.Sprintf("%.0f", row.MissNs),
+			fmt.Sprintf("%d", row.Segments),
+			bench.MB(int(row.DiskBytes)),
+			fmt.Sprintf("%d/%d", row.ModelsLoaded, row.ModelsTrained))
+	}
+	render(o, t)
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, "cold open served %d keys from %d deserialized segment models with 0 retrains (misses pruned by per-segment Bloom filters)\n",
+			cold.Len(), cstats.ModelsLoaded)
+	}
+	return rows
+}
+
+// containsAsInt adapts Store.Contains to the bench.TimeLookups signature.
+func containsAsInt(st *serve.Store) func(uint64) int {
+	return func(k uint64) int {
+		if st.Contains(k) {
+			return 1
+		}
+		return 0
+	}
+}

@@ -15,6 +15,14 @@ type Multivariate struct {
 	feats   []FeatureFunc
 	// per-feature standardization so the normal equations stay conditioned
 	mean, invStd []float64
+	// featIdx records which entries of the fitting menu survived selection
+	// (in selection order), and stdMenu whether that menu was
+	// StandardFeatures() — together they make the model serializable:
+	// closures cannot be encoded, but indexes into the fixed standard menu
+	// can. Models fit over a custom menu have stdMenu == false and refuse
+	// to encode.
+	featIdx []int
+	stdMenu bool
 }
 
 // FeatureFunc maps a key to one engineered feature.
@@ -35,7 +43,8 @@ func StandardFeatures() []FeatureFunc {
 // training RMSE) the subset of features that helps — the paper's
 // "automatically creating and selecting features".
 func FitMultivariate(xs, ys []float64, feats []FeatureFunc) *Multivariate {
-	if len(feats) == 0 {
+	stdMenu := len(feats) == 0
+	if stdMenu {
 		feats = StandardFeatures()
 	}
 	// Greedy forward selection over the feature menu.
@@ -53,6 +62,7 @@ func FitMultivariate(xs, ys []float64, feats []FeatureFunc) *Multivariate {
 		for ri, fi := range remaining {
 			trial := append(append([]int{}, selected...), fi)
 			m := fitExact(xs, ys, pick(feats, trial))
+			m.featIdx = trial
 			e := m.rmse(xs, ys)
 			if e < bestErr*(1-1e-6) { // require real improvement
 				bestErr = e
@@ -72,6 +82,7 @@ func FitMultivariate(xs, ys []float64, feats []FeatureFunc) *Multivariate {
 		// No feature helped (constant target); fit bias-only.
 		best = fitExact(xs, ys, nil)
 	}
+	best.stdMenu = stdMenu
 	return best
 }
 

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+)
+
+// TestPersistentStoreOracle drives the dir-backed Store against a map
+// oracle across insert/flush/reopen cycles: membership, Len, and
+// lower-bound positions (checked against the sorted committed set) must
+// match, and a cold reopen must serve everything without retraining.
+func TestPersistentStoreOracle(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	base := data.Uniform(8_000, 1_000_000_000, 4)
+	oracle := map[uint64]bool{}
+	for _, k := range base {
+		oracle[k] = true
+	}
+
+	st, err := Open(base, core.Config{}, Options{Dir: dir, MergeThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3000; step++ {
+		var k uint64
+		switch rng.Intn(3) {
+		case 0:
+			k = base[rng.Intn(len(base))] // re-insert
+		default:
+			k = uint64(rng.Int63n(1_500_000_000))
+		}
+		st.Insert(k)
+		oracle[k] = true
+		if step%977 == 0 {
+			st.Flush()
+			checkOracle(t, st, oracle, rng)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.Flush()
+	checkOracle(t, st, oracle, rng)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reopen: identical committed state, zero models trained.
+	st2, err := Open(nil, core.Config{}, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats, ok := st2.StorageStats()
+	if !ok {
+		t.Fatal("StorageStats reported in-memory for a dir-backed store")
+	}
+	if stats.ModelsTrained != 0 {
+		t.Fatalf("cold reopen trained %d models", stats.ModelsTrained)
+	}
+	if stats.ModelsLoaded == 0 {
+		t.Fatal("cold reopen deserialized nothing")
+	}
+	checkOracle(t, st2, oracle, rng)
+}
+
+func checkOracle(t *testing.T, st *Store, oracle map[uint64]bool, rng *rand.Rand) {
+	t.Helper()
+	if st.Len() != len(oracle) {
+		t.Fatalf("Len=%d, oracle %d", st.Len(), len(oracle))
+	}
+	committed := make([]uint64, 0, len(oracle))
+	for k := range oracle {
+		committed = append(committed, k)
+	}
+	slices.Sort(committed)
+	probes := make([]uint64, 0, 600)
+	for i := 0; i < 300; i++ {
+		probes = append(probes, committed[rng.Intn(len(committed))])
+		probes = append(probes, uint64(rng.Int63n(2_000_000_000)))
+	}
+	pos := st.LookupBatch(probes)
+	hits := st.ContainsBatch(probes)
+	for i, k := range probes {
+		if got, want := hits[i], oracle[k]; got != want {
+			t.Fatalf("Contains(%d)=%v, oracle %v", k, got, want)
+		}
+		want, _ := slices.BinarySearch(committed, k)
+		if pos[i] != want {
+			t.Fatalf("Lookup(%d)=%d, want %d", k, pos[i], want)
+		}
+		if st.Lookup(k) != want || st.Contains(k) != oracle[k] {
+			t.Fatalf("per-key path diverged from batch at %d", k)
+		}
+	}
+}
+
+// TestPersistentStoreConcurrent hammers a dir-backed Store from writer and
+// reader goroutines with background flushes and compactions — the
+// engine's lock-free read plane under the race detector.
+func TestPersistentStoreConcurrent(t *testing.T) {
+	st, err := Open(nil, core.Config{}, Options{Dir: t.TempDir(), MergeThreshold: 500, CompactFanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 2500
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Int63n(writers * perWriter))
+				st.Contains(k)
+				st.Lookup(k)
+				st.Len()
+			}
+		}(int64(g))
+	}
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st.Insert(uint64(w*perWriter + i))
+			}
+			if err := st.Sync(); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	st.Flush()
+	if st.Len() != writers*perWriter {
+		t.Fatalf("Len=%d, want %d", st.Len(), writers*perWriter)
+	}
+	for i := 0; i < writers*perWriter; i += 97 {
+		if !st.Contains(uint64(i)) {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentStoreInitialKeysIdempotent verifies that reopening with
+// the same bootstrap keys does not duplicate them on disk.
+func TestPersistentStoreInitialKeysIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.Uniform(4_000, 1_000_000, 9)
+	for round := 0; round < 3; round++ {
+		st, err := Open(keys, core.Config{}, Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != len(keys) {
+			t.Fatalf("round %d: Len=%d, want %d", round, st.Len(), len(keys))
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -39,9 +39,25 @@
 //     concurrently with any other, including Insert, Flush, and Close.
 //     This package — not core.DeltaIndex, which is single-goroutine only —
 //     is the supported concurrent entry point.
+//
+// # Persistence
+//
+// With Options.Dir set (use Open, which can fail), the Store is backed by
+// the disk engine of internal/storage instead of in-memory shard
+// snapshots: every Insert appends to a write-ahead log, Sync acknowledges
+// durability (fsync), drains flush the pending keys into immutable
+// segment files — each carrying its serialized RMI and Bloom filter — and
+// trim the WAL, and reads are served from the deserialized per-segment
+// models, consulting each segment's Bloom filter before any key block is
+// searched. The visibility contract is unchanged (inserts become readable
+// at the next drain or Flush); reopening after a crash serves exactly the
+// durable keys: all flushed segments plus the intact WAL tail. I/O errors
+// are sticky in the engine and surface on Sync, Flush-following-Sync, and
+// Close.
 package serve
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
@@ -49,17 +65,30 @@ import (
 
 	"learnedindex/internal/core"
 	"learnedindex/internal/search"
+	"learnedindex/internal/storage"
 )
 
 // Options configures a Store.
 type Options struct {
 	// Shards is the number of range partitions (default 8). More shards
 	// mean smaller retrains and less merge interference, at the cost of a
-	// larger capture per global lookup.
+	// larger capture per global lookup. Ignored when Dir is set.
 	Shards int
 	// MergeThreshold is the per-shard buffered-insert count that wakes the
-	// background merger (default 4096).
+	// background merger (default 4096). With Dir set it is the pending-key
+	// count that triggers a background flush to a segment file.
 	MergeThreshold int
+	// Dir, when non-empty, makes the Store persistent: a WAL plus learned
+	// segment files under this directory (created if absent). Empty keeps
+	// today's purely in-memory behavior.
+	Dir string
+	// BloomFPR is the per-segment Bloom filter false-positive rate of a
+	// persistent Store (default 0.01). Ignored when Dir is empty.
+	BloomFPR float64
+	// CompactFanout is how many contiguous similar-sized segments trigger
+	// a background merge in a persistent Store (default 4). Ignored when
+	// Dir is empty.
+	CompactFanout int
 }
 
 // snapshot is one shard's immutable published state. Nothing in it is ever
@@ -79,7 +108,8 @@ type shard struct {
 	buf []uint64
 }
 
-// Store is the sharded serving layer. Create with New, release with Close.
+// Store is the sharded serving layer. Create with New (or Open for a
+// persistent store), release with Close.
 type Store struct {
 	bounds  []uint64 // len(shards)-1 split keys; shard i serves [bounds[i-1], bounds[i])
 	shards  []*shard
@@ -90,14 +120,73 @@ type Store struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	merges  atomic.Int64
+	// eng, when non-nil, is the disk engine of a persistent Store; the
+	// in-memory shard fields above are unused in that mode.
+	eng *storage.Engine
 }
 
 // New builds a Store over the initial keys (any order; duplicates are
 // dropped) and starts the background merger. cfg configures every shard's
 // RMI; leave cfg.StageSizes empty to let each shard size its leaf stage to
 // its own key count — a fixed leaf count is shared by all shards and all
-// retrains, which is rarely what a growing shard wants.
+// retrains, which is rarely what a growing shard wants. With opt.Dir set
+// New panics on an engine error; call Open to handle it instead.
 func New(keys []uint64, cfg core.Config, opt Options) *Store {
+	s, err := Open(keys, cfg, opt)
+	if err != nil {
+		panic(fmt.Sprintf("serve.New: %v (use serve.Open to handle storage errors)", err))
+	}
+	return s
+}
+
+// Open builds a Store like New, returning engine errors instead of
+// panicking. With opt.Dir set it opens (or recovers) the persistent
+// engine rooted there, re-serves everything durable from the deserialized
+// segment models, persists the provided initial keys (idempotently — keys
+// already on disk are deduplicated), and starts the background flusher.
+func Open(keys []uint64, cfg core.Config, opt Options) (*Store, error) {
+	if opt.Dir != "" {
+		return openPersistent(keys, cfg, opt)
+	}
+	return newInMemory(keys, cfg, opt), nil
+}
+
+func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error) {
+	thresh := opt.MergeThreshold
+	if thresh <= 0 {
+		thresh = 4096
+	}
+	eng, err := storage.Open(opt.Dir, storage.Options{
+		Config:        cfg,
+		BloomFPR:      opt.BloomFPR,
+		CompactFanout: opt.CompactFanout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:     cfg,
+		thresh:  thresh,
+		mergeCh: make(chan int, 1),
+		quit:    make(chan struct{}),
+		eng:     eng,
+	}
+	if len(keys) > 0 {
+		if err := eng.Append(keys...); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		if err := eng.Flush(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.merger()
+	return s, nil
+}
+
+func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
 	nsh := opt.Shards
 	if nsh <= 0 {
 		nsh = 8
@@ -161,8 +250,22 @@ func (s *Store) shardFor(key uint64) int {
 
 // Insert buffers a key for its shard and wakes the merger once the buffer
 // passes the threshold. The key becomes visible to readers at the next
-// drain (background merge or Flush).
+// drain (background merge or Flush). On a persistent Store the key is
+// appended to the WAL first (durable at the next Sync); a write error is
+// sticky in the engine and surfaces on Sync/Flush/Close.
 func (s *Store) Insert(key uint64) {
+	if s.eng != nil {
+		if s.eng.Append(key) != nil {
+			return // sticky; reported by Sync/Close
+		}
+		if s.eng.PendingLen() >= s.thresh {
+			select {
+			case s.mergeCh <- 0:
+			default:
+			}
+		}
+		return
+	}
 	i := s.shardFor(key)
 	sh := s.shards[i]
 	sh.mu.Lock()
@@ -179,6 +282,8 @@ func (s *Store) Insert(key uint64) {
 
 // merger is the background goroutine: it drains whichever shard crossed
 // its threshold, and on shutdown drains everything so Close is a barrier.
+// On a persistent Store a drain is a flush: pending keys become one
+// segment file and the WAL is trimmed.
 func (s *Store) merger() {
 	defer s.wg.Done()
 	for {
@@ -187,6 +292,10 @@ func (s *Store) merger() {
 			s.drain(i)
 			s.sweep()
 		case <-s.quit:
+			if s.eng != nil {
+				s.drain(0)
+				return
+			}
 			for i := range s.shards {
 				s.drain(i)
 			}
@@ -200,6 +309,12 @@ func (s *Store) merger() {
 // cold shard's single notification may have been dropped. The post-drain
 // sweep restores the bounded-staleness promise for those shards.
 func (s *Store) sweep() {
+	if s.eng != nil {
+		if s.eng.PendingLen() >= s.thresh {
+			s.drain(0)
+		}
+		return
+	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		over := len(sh.buf) >= s.thresh
@@ -214,6 +329,10 @@ func (s *Store) sweep() {
 // Readers are never blocked: the retrain happens on a private copy and the
 // swap is a single atomic store.
 func (s *Store) drain(i int) {
+	if s.eng != nil {
+		s.eng.Flush() // errors are sticky; surfaced by Sync/Close
+		return
+	}
 	sh := s.shards[i]
 	sh.mergeMu.Lock()
 	defer sh.mergeMu.Unlock()
@@ -236,26 +355,49 @@ func (s *Store) drain(i int) {
 }
 
 // Flush synchronously drains every shard: a visibility barrier making all
-// previously returned Inserts readable.
+// previously returned Inserts readable. On a persistent Store it also
+// makes them durable (segment files are fsynced before the WAL is
+// trimmed).
 func (s *Store) Flush() {
+	if s.eng != nil {
+		s.drain(0)
+		return
+	}
 	for i := range s.shards {
 		s.drain(i)
 	}
 }
 
+// Sync is the durability barrier of a persistent Store: when it returns
+// nil, every Insert that returned before the call survives a crash (WAL
+// fsync acknowledgement). It also surfaces any sticky engine write error.
+// On an in-memory Store it is a no-op.
+func (s *Store) Sync() error {
+	if s.eng == nil {
+		return nil
+	}
+	return s.eng.Sync()
+}
+
 // Close stops the background merger after a final drain of every shard.
-// Safe to call more than once; the Store remains readable afterwards, and
-// Flush keeps working (drains run in the caller). An Insert racing Close
-// can land just after the shutdown drain — the trailing Flush below
-// publishes those; an Insert that starts after Close returns stays
-// buffered until the caller's next Flush.
-func (s *Store) Close() {
+// Safe to call more than once; an in-memory Store remains readable
+// afterwards, and Flush keeps working (drains run in the caller). An
+// Insert racing Close can land just after the shutdown drain — the
+// trailing Flush below publishes those; an Insert that starts after Close
+// returns stays buffered until the caller's next Flush. A persistent
+// Store flushes everything pending, releases the engine, and reports any
+// sticky write error; it must not be used afterwards.
+func (s *Store) Close() error {
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
 	close(s.quit)
 	s.wg.Wait()
+	if s.eng != nil {
+		return s.eng.Close()
+	}
 	s.Flush()
+	return nil
 }
 
 // view is a point-in-time capture of every shard's published snapshot plus
@@ -267,8 +409,13 @@ type view struct {
 
 // Lookup returns the global lower-bound position of key over the committed
 // view: the index of the first committed key >= key. Allocation-free: it
-// captures only the snapshots it reads (one atomic load per shard).
+// captures only the snapshots it reads (one atomic load per shard). On a
+// persistent Store the position is the exact sum of per-segment model
+// lookups (segments hold disjoint key sets).
 func (s *Store) Lookup(key uint64) int {
+	if s.eng != nil {
+		return s.eng.Lookup(key)
+	}
 	i := s.shardFor(key)
 	total := 0
 	for j := 0; j < i; j++ {
@@ -277,13 +424,21 @@ func (s *Store) Lookup(key uint64) int {
 	return total + s.shards[i].snap.Load().rmi.Lookup(key)
 }
 
-// Contains reports whether key is committed.
+// Contains reports whether key is committed. On a persistent Store each
+// segment's Bloom filter is consulted before its key block is searched,
+// so misses rarely touch a model.
 func (s *Store) Contains(key uint64) bool {
+	if s.eng != nil {
+		return s.eng.Contains(key)
+	}
 	return s.shards[s.shardFor(key)].snap.Load().rmi.Contains(key)
 }
 
 // Len returns the number of distinct committed keys.
 func (s *Store) Len() int {
+	if s.eng != nil {
+		return s.eng.Len()
+	}
 	total := 0
 	for _, sh := range s.shards {
 		total += len(sh.snap.Load().keys)
@@ -294,6 +449,9 @@ func (s *Store) Len() int {
 // Pending returns the number of buffered (not yet visible) inserts,
 // counting duplicates that a drain would absorb.
 func (s *Store) Pending() int {
+	if s.eng != nil {
+		return s.eng.PendingLen()
+	}
 	total := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -303,11 +461,32 @@ func (s *Store) Pending() int {
 	return total
 }
 
-// Merges returns how many snapshot publications have happened.
-func (s *Store) Merges() int { return int(s.merges.Load()) }
+// Merges returns how many snapshot publications have happened (segment
+// flushes on a persistent Store).
+func (s *Store) Merges() int {
+	if s.eng != nil {
+		return s.eng.Stats().Flushes
+	}
+	return int(s.merges.Load())
+}
 
-// NumShards returns the partition count.
-func (s *Store) NumShards() int { return len(s.shards) }
+// NumShards returns the partition count (1 on a persistent Store, whose
+// sharding is the segment list).
+func (s *Store) NumShards() int {
+	if s.eng != nil {
+		return 1
+	}
+	return len(s.shards)
+}
+
+// StorageStats returns the disk engine's statistics and true when the
+// Store is persistent; the zero Stats and false otherwise.
+func (s *Store) StorageStats() (storage.Stats, bool) {
+	if s.eng == nil {
+		return storage.Stats{}, false
+	}
+	return s.eng.Stats(), true
+}
 
 // LookupBatch answers Lookup for every probe, in probe order, against one
 // consistent captured view. The batch is sorted once; contiguous runs of
@@ -318,6 +497,21 @@ func (s *Store) NumShards() int { return len(s.shards) }
 func (s *Store) LookupBatch(probes []uint64) []int {
 	out := make([]int, len(probes))
 	if len(probes) == 0 {
+		return out
+	}
+	if s.eng != nil {
+		sc := scratchPool.Get().(*batchScratch)
+		skeys, perm := sortProbes(probes, sc)
+		pos := grow(&sc.pos, len(probes))
+		s.eng.LookupBatchSorted(skeys, pos)
+		if perm == nil {
+			copy(out, pos)
+		} else {
+			for j, o := range perm {
+				out[o] = pos[j]
+			}
+		}
+		sc.release()
 		return out
 	}
 	sc := scratchPool.Get().(*batchScratch)
@@ -338,6 +532,14 @@ func (s *Store) LookupBatch(probes []uint64) []int {
 func (s *Store) ContainsBatch(probes []uint64) []bool {
 	out := make([]bool, len(probes))
 	if len(probes) == 0 {
+		return out
+	}
+	if s.eng != nil {
+		// One captured segment list for the whole batch (the consistent
+		// view promised above); per-key membership is already cheap on the
+		// engine — min/max fences and Bloom filters prune almost every
+		// probe before a model runs.
+		s.eng.ContainsBatch(probes, out)
 		return out
 	}
 	sc := scratchPool.Get().(*batchScratch)
@@ -370,29 +572,7 @@ func (s *Store) ContainsBatch(probes []uint64) []bool {
 // batch costs one allocation (the caller's result slice).
 func (s *Store) batchPositions(probes []uint64, sc *batchScratch) (v view, skeys []uint64, pos []int, perm []int32) {
 	n := len(probes)
-	if slices.IsSorted(probes) {
-		skeys = probes
-	} else {
-		pairs := grow(&sc.pairs, n)
-		for i, k := range probes {
-			pairs[i] = probeSlot{k: k, i: int32(i)}
-		}
-		slices.SortFunc(pairs, func(a, b probeSlot) int {
-			switch {
-			case a.k < b.k:
-				return -1
-			case a.k > b.k:
-				return 1
-			}
-			return 0
-		})
-		skeys = grow(&sc.skeys, n)
-		perm = grow(&sc.perm, n)
-		for j := range pairs {
-			skeys[j] = pairs[j].k
-			perm[j] = pairs[j].i
-		}
-	}
+	skeys, perm = sortProbes(probes, sc)
 	v = view{snaps: grow(&sc.snaps, len(s.shards)), offs: grow(&sc.offs, len(s.shards))}
 	total := 0
 	for i, sh := range s.shards {
@@ -415,6 +595,38 @@ func (s *Store) batchPositions(probes []uint64, sc *batchScratch) (v view, skeys
 		start = end
 	}
 	return v, skeys, pos, perm
+}
+
+// sortProbes is the shared batch prologue: sort the probes ascending while
+// carrying their original indexes, using sc's pooled buffers. perm maps a
+// sorted slot back to its original probe index and is nil when the input
+// was already ascending (the scan-shaped fast path, where skeys aliases
+// probes directly).
+func sortProbes(probes []uint64, sc *batchScratch) (skeys []uint64, perm []int32) {
+	n := len(probes)
+	if slices.IsSorted(probes) {
+		return probes, nil
+	}
+	pairs := grow(&sc.pairs, n)
+	for i, k := range probes {
+		pairs[i] = probeSlot{k: k, i: int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, b probeSlot) int {
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		}
+		return 0
+	})
+	skeys = grow(&sc.skeys, n)
+	perm = grow(&sc.perm, n)
+	for j := range pairs {
+		skeys[j] = pairs[j].k
+		perm[j] = pairs[j].i
+	}
+	return skeys, perm
 }
 
 // probeSlot carries a probe and its original batch index through the sort.

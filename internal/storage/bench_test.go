@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+// benchEngine builds a multi-segment engine under b.TempDir once.
+func benchEngine(b *testing.B, n, batches int) (*Engine, []uint64) {
+	b.Helper()
+	keys := data.Maps(n, 1)
+	e, err := Open(b.TempDir(), Options{NoCompactor: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < batches; i++ {
+		if err := e.Append(keys[i*len(keys)/batches : (i+1)*len(keys)/batches]...); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { e.Close() })
+	return e, keys
+}
+
+func BenchmarkEngineContainsHit(b *testing.B) {
+	e, keys := benchEngine(b, 200_000, 4)
+	probes := data.SampleExisting(keys, 1<<14, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Contains(probes[i&(1<<14-1)]) {
+			b.Fatal("lost key")
+		}
+	}
+}
+
+func BenchmarkEngineContainsMiss(b *testing.B) {
+	e, keys := benchEngine(b, 200_000, 4)
+	probes := data.SampleMissing(keys, 1<<14, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Contains(probes[i&(1<<14-1)]) {
+			b.Fatal("phantom key")
+		}
+	}
+}
+
+func BenchmarkEngineColdOpen(b *testing.B) {
+	e, _ := benchEngine(b, 200_000, 4)
+	dir := e.Dir()
+	if err := e.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := Open(dir, Options{NoCompactor: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFlushSegment(b *testing.B) {
+	keys := data.Maps(50_000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := Open(b.TempDir(), Options{NoCompactor: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Append(keys...); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := e.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"learnedindex/internal/binenc"
+	"learnedindex/internal/bloom"
+	"learnedindex/internal/core"
+)
+
+// Segment files are the immutable sorted runs of the engine. Layout:
+//
+//	magic "LIXSEG01" (8 bytes)
+//	body:
+//	  uvarint keyCount (>= 1)
+//	  uvarint firstKey, then keyCount-1 uvarint deltas (strictly positive)
+//	  length-prefixed serialized core.RMI   (trained over the key block)
+//	  length-prefixed serialized bloom.Filter
+//	crc32c(body) (4 bytes LE)
+//
+// Delta-varint coding exploits sortedness (dense runs cost ~1–2 bytes per
+// key); the trailing checksum makes any torn or bit-flipped file fail to
+// open instead of serving wrong answers. A segment is written once —
+// temp file, fsync, rename, directory fsync — and never modified;
+// compaction writes a replacement and deletes the inputs.
+//
+// Filenames are seg-<seqLo>-<seqHi>.seg with 16-hex-digit sequence
+// numbers. A flush produces seqLo == seqHi; compaction of a contiguous
+// run produces the covering range. Recovery treats a file whose range is
+// strictly contained in another's as an obsolete compaction input that
+// survived a crash, and deletes it.
+var segMagic = [8]byte{'L', 'I', 'X', 'S', 'E', 'G', '0', '1'}
+
+type segment struct {
+	seqLo, seqHi uint64
+	path         string
+	keys         []uint64
+	rmi          *core.RMI
+	filter       *bloom.Filter
+	diskBytes    int64
+}
+
+func (s *segment) minKey() uint64 { return s.keys[0] }
+func (s *segment) maxKey() uint64 { return s.keys[len(s.keys)-1] }
+
+func segmentFileName(seqLo, seqHi uint64) string {
+	return fmt.Sprintf("seg-%016x-%016x.seg", seqLo, seqHi)
+}
+
+// parseSegmentFileName extracts the sequence range, rejecting anything
+// that does not match the canonical name.
+func parseSegmentFileName(name string) (seqLo, seqHi uint64, ok bool) {
+	var lo, hi uint64
+	n, err := fmt.Sscanf(name, "seg-%016x-%016x.seg", &lo, &hi)
+	if err != nil || n != 2 || lo > hi || name != segmentFileName(lo, hi) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// encodeSegment builds the full file image (magic + body + checksum) for
+// sorted unique non-empty keys with their trained index and filter.
+func encodeSegment(keys []uint64, rmi *core.RMI, filter *bloom.Filter) ([]byte, error) {
+	body := binenc.AppendUvarint(nil, uint64(len(keys)))
+	body = binenc.AppendUvarint(body, keys[0])
+	for i := 1; i < len(keys); i++ {
+		body = binenc.AppendUvarint(body, keys[i]-keys[i-1])
+	}
+	rb, err := rmi.AppendBinary(nil)
+	if err != nil {
+		return nil, err
+	}
+	body = binenc.AppendBytes(body, rb)
+	body = binenc.AppendBytes(body, filter.AppendBinary(nil))
+
+	out := make([]byte, 0, len(segMagic)+len(body)+4)
+	out = append(out, segMagic[:]...)
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable)), nil
+}
+
+// decodeSegment parses a full file image. All errors are reported, never
+// panicked, including on adversarial input: checksum first, then strictly
+// validated key deltas, then the model and filter decoders (which bind the
+// RMI to the decoded key block and cross-check its key count).
+func decodeSegment(data []byte) (keys []uint64, rmi *core.RMI, filter *bloom.Filter, err error) {
+	if len(data) < len(segMagic)+4 || [8]byte(data[:8]) != segMagic {
+		return nil, nil, nil, fmt.Errorf("storage: bad segment magic: %w", binenc.ErrCorrupt)
+	}
+	body := data[len(segMagic) : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, nil, nil, fmt.Errorf("storage: segment checksum mismatch: %w", binenc.ErrCorrupt)
+	}
+	r := binenc.NewReader(body)
+	n := r.Count(len(body), 1)
+	if r.Err() != nil || n < 1 {
+		return nil, nil, nil, binenc.ErrCorrupt
+	}
+	keys = make([]uint64, n)
+	keys[0] = r.Uvarint()
+	for i := 1; i < n; i++ {
+		d := r.Uvarint()
+		k := keys[i-1] + d
+		if d < 1 || k < keys[i-1] { // zero delta or uint64 wrap
+			return nil, nil, nil, binenc.ErrCorrupt
+		}
+		keys[i] = k
+	}
+	if r.Err() != nil {
+		return nil, nil, nil, r.Err()
+	}
+	rmi, err = core.DecodeRMI(r.Bytes(), keys)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	filter, err = bloom.Decode(binenc.NewReader(r.Bytes()))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if r.Err() != nil {
+		return nil, nil, nil, r.Err()
+	}
+	// Exact decode, like WAL records: trailing bytes mean the file was
+	// written by something newer or buggier than this decoder — reject it
+	// at open rather than serving it partially.
+	if r.Remaining() != 0 {
+		return nil, nil, nil, fmt.Errorf("storage: %d trailing bytes after segment body: %w", r.Remaining(), binenc.ErrCorrupt)
+	}
+	return keys, rmi, filter, nil
+}
+
+// writeSegment trains an RMI and Bloom filter over keys (sorted, unique,
+// non-empty), encodes the segment, and commits it to dir crash-safely:
+// temp file, fsync, rename to the canonical name, fsync the directory.
+func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Config, fpr float64) (*segment, error) {
+	rmi := core.New(keys, cfg)
+	filter := bloom.New(len(keys), fpr)
+	for _, k := range keys {
+		filter.AddUint64(k)
+	}
+	img, err := encodeSegment(keys, rmi, filter)
+	if err != nil {
+		return nil, err
+	}
+	final := filepath.Join(dir, segmentFileName(seqLo, seqHi))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, img); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return &segment{
+		seqLo: seqLo, seqHi: seqHi, path: final,
+		keys: keys, rmi: rmi, filter: filter, diskBytes: int64(len(img)),
+	}, nil
+}
+
+// openSegmentFile reads and decodes one committed segment.
+func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	keys, rmi, filter, err := decodeSegment(data)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment %s: %w", filepath.Base(path), err)
+	}
+	return &segment{
+		seqLo: seqLo, seqHi: seqHi, path: path,
+		keys: keys, rmi: rmi, filter: filter, diskBytes: int64(len(data)),
+	}, nil
+}
+
+// writeFileSync writes data to path and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

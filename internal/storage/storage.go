@@ -1,0 +1,728 @@
+// Package storage is the persistent learned-segment storage engine: the
+// durability layer under the serving stack. It pairs the paper's learned
+// structures with an LSM-shaped disk layout —
+//
+//   - a write-ahead log with length+checksum framing and a synchronous
+//     Sync acknowledgement (wal.go);
+//   - immutable sorted segment files, each carrying a delta-varint key
+//     block plus the serialized RMI (§3) trained over it and a serialized
+//     Bloom filter (§5) for negative-lookup pruning (segment.go), so a
+//     cold open deserializes models instead of retraining them;
+//   - crash recovery that replays the intact WAL tail over the newest
+//     segments, truncates torn records, and garbage-collects segment
+//     files orphaned by a crashed compaction;
+//   - background size-tiered compaction that merges contiguous runs of
+//     similar-sized segments oldest-first and deletes the inputs.
+//
+// # Consistency and durability model
+//
+// Append buffers keys in the WAL and an in-memory pending list; Sync makes
+// every prior Append crash-durable (fsync ack). Keys become *served*
+// (visible to Contains/Lookup/Len) at Flush, which trains a segment over
+// the novel pending keys and truncates the WAL. After a crash, recovery
+// re-serves exactly the keys that were durable: all flushed segments plus
+// every intact WAL record. Because Flush drops pending keys already
+// present in older segments, live segments always hold disjoint key sets,
+// which is what makes Len and global lower-bound Lookup exact sums.
+//
+// Reads (Contains, Lookup, LookupBatchSorted, Len) are lock-free against
+// an atomically published segment list; writes (Append, Sync, Flush) are
+// serialized by an internal mutex and may be called concurrently with
+// reads and with background compaction. I/O errors latch: once a write
+// fails, the error is sticky and returned by every subsequent
+// Append/Sync/Flush/Close so an ack can never be trusted past a failure.
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"learnedindex/internal/core"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Config is the RMI configuration used for every trained segment
+	// index. Leave StageSizes empty to size leaves per segment.
+	Config core.Config
+	// BloomFPR is the per-segment Bloom filter false-positive rate
+	// (default 0.01).
+	BloomFPR float64
+	// CompactFanout is how many contiguous same-size-class segments
+	// trigger a merge (default 4; minimum 2).
+	CompactFanout int
+	// NoCompactor disables the background compaction goroutine. Compact
+	// can still be called explicitly.
+	NoCompactor bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BloomFPR <= 0 || o.BloomFPR >= 1 {
+		o.BloomFPR = 0.01
+	}
+	if o.CompactFanout < 2 {
+		o.CompactFanout = 4
+	}
+	// core.New clamps StageSizes entries in place; segments must not share
+	// a mutable backing array with the caller.
+	if len(o.Config.StageSizes) > 0 {
+		o.Config.StageSizes = slices.Clone(o.Config.StageSizes)
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of engine state for reports.
+type Stats struct {
+	Segments      int
+	Keys          int
+	DiskBytes     int64
+	WALBytes      int64
+	PendingKeys   int
+	ModelsLoaded  int // RMIs deserialized from disk at Open
+	ModelsTrained int // RMIs trained by flushes and compactions
+	Flushes       int
+	Compactions   int
+}
+
+// Engine is the disk-backed store. Open one per directory; Close releases
+// it. All methods are safe for concurrent use.
+type Engine struct {
+	dir  string
+	opts Options
+
+	// mu serializes the write plane: the active WAL, pending keys, and the
+	// sticky error. It is held only for cheap operations — appends, WAL
+	// fsyncs, and the flush freeze step — never across segment training.
+	mu      sync.Mutex
+	wal     *wal
+	walSeq  uint64
+	pending []uint64
+	err     error
+	// flushMu serializes whole flushes (freeze → train → commit → retire),
+	// keeping concurrent Flush calls from racing each other while mu stays
+	// free for appends during the heavy middle part.
+	flushMu sync.Mutex
+
+	// segMu serializes segment-list mutation (flush publish, compaction
+	// swap); readers go through the atomic pointer, never the lock.
+	segMu sync.Mutex
+	segs  atomic.Pointer[[]*segment]
+	// compactMu serializes whole compaction rounds: the background
+	// compactor and explicit Compact calls must not pick overlapping runs.
+	compactMu sync.Mutex
+
+	nextSeq   uint64
+	compactCh chan struct{}
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	modelsLoaded  atomic.Int64
+	modelsTrained atomic.Int64
+	flushes       atomic.Int64
+	compactions   atomic.Int64
+}
+
+// Open recovers (or creates) the engine rooted at dir: load and validate
+// every committed segment, drop compaction leftovers, replay the WAL tail,
+// truncate torn records, and materialize any replayed keys as a fresh
+// segment so the WAL starts empty. After a clean shutdown this deserializes
+// every model and trains none.
+func Open(dir string, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		dir:       dir,
+		opts:      opts,
+		compactCh: make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+	}
+	segs, nextSeq, err := loadSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.modelsLoaded.Store(int64(len(segs)))
+	e.segs.Store(&segs)
+	e.nextSeq = nextSeq
+
+	// Replay every log in sequence order (several exist only when a crash
+	// interrupted a flush between freeze and retire), truncating the torn
+	// tail of each; then materialize the recovered keys over the newest
+	// segments and retire the replayed files. Ordering is crash-safe: the
+	// segment is committed before any log is deleted, and re-replaying an
+	// already-materialized log just deduplicates.
+	walSeqs, walPaths, err := scanWALFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var recovered []uint64
+	for _, p := range walPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		keys, _ := replayWAL(data)
+		recovered = append(recovered, keys...)
+	}
+	if len(recovered) > 0 {
+		if err := e.materialize(recovered); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range walPaths {
+		os.Remove(p)
+	}
+	if len(walSeqs) > 0 {
+		e.walSeq = walSeqs[len(walSeqs)-1] + 1
+	}
+	w, err := newWAL(filepath.Join(dir, walFileName(e.walSeq)))
+	if err != nil {
+		return nil, err
+	}
+	e.wal = w
+	if !opts.NoCompactor {
+		// Deliberately not kicked here: a cold open must train nothing
+		// (the "deserialized models only" contract above), so any tier
+		// left over-full by the previous process waits for the next flush
+		// to trigger its merge.
+		e.wg.Add(1)
+		go e.compactor()
+	}
+	return e, nil
+}
+
+// loadSegments scans dir for committed segments, removes stale temp files
+// and any segment whose sequence range is strictly contained in another's
+// (a compaction input that outlived its replacement across a crash), and
+// returns the live set sorted by sequence.
+func loadSegments(dir string) ([]*segment, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	type cand struct {
+		lo, hi uint64
+		path   string
+	}
+	var cands []cand
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // never renamed => never committed
+			continue
+		}
+		lo, hi, ok := parseSegmentFileName(name)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{lo, hi, filepath.Join(dir, name)})
+	}
+	// Widest range first within a seqLo, so a contained range always meets
+	// its container before being kept.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lo != cands[j].lo {
+			return cands[i].lo < cands[j].lo
+		}
+		return cands[i].hi > cands[j].hi
+	})
+	var kept []cand
+	for _, c := range cands {
+		if n := len(kept); n > 0 {
+			last := kept[n-1]
+			if c.lo >= last.lo && c.hi <= last.hi {
+				os.Remove(c.path) // obsolete compaction input
+				continue
+			}
+			if c.lo <= last.hi {
+				return nil, 0, fmt.Errorf("storage: segments %s and %s overlap without containment",
+					filepath.Base(last.path), filepath.Base(c.path))
+			}
+		}
+		kept = append(kept, c)
+	}
+	segs := make([]*segment, len(kept))
+	nextSeq := uint64(0)
+	for i, c := range kept {
+		s, err := openSegmentFile(c.path, c.lo, c.hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		segs[i] = s
+		if c.hi+1 > nextSeq {
+			nextSeq = c.hi + 1
+		}
+	}
+	return segs, nextSeq, nil
+}
+
+// maxAppendChunk bounds the keys per WAL record (~5 MB at worst-case
+// 10-byte varints, well under maxWALRecord) so arbitrarily large Append
+// calls — e.g. a multi-million-key bootstrap — frame into several records
+// instead of tripping the record-size limit.
+const maxAppendChunk = 1 << 19
+
+// Append logs keys (as one or more WAL records) and buffers them as
+// pending. They are durable after the next Sync and served after the next
+// Flush.
+func (e *Engine) Append(keys ...uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed.Load() {
+		return fmt.Errorf("storage: engine closed")
+	}
+	for len(keys) > 0 {
+		chunk := keys[:min(len(keys), maxAppendChunk)]
+		if err := e.wal.append(chunk); err != nil {
+			e.err = err
+			return err
+		}
+		e.pending = append(e.pending, chunk...)
+		keys = keys[len(chunk):]
+	}
+	return nil
+}
+
+// Sync acknowledges durability: when it returns nil, every key appended
+// before the call survives a crash.
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.wal.sync(); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Flush makes every pending key served and trims the log. The write
+// mutex is held only for the freeze: snapshot the pending keys, fsync and
+// retire the active WAL, start a fresh one. Training the segment and
+// committing it happen off the write path, so concurrent Appends proceed
+// during the heavy part. The frozen log is deleted only after the segment
+// is committed — a crash in between re-replays it into duplicates, never
+// a loss.
+func (e *Engine) Flush() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+
+	e.mu.Lock()
+	if e.err != nil {
+		e.mu.Unlock()
+		return e.err
+	}
+	if len(e.pending) == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	snap := e.pending
+	e.pending = nil
+	frozen := e.wal
+	// The frozen log must be durable before the ack plane moves past it:
+	// a Sync arriving after the freeze fsyncs only the new active log, so
+	// any still-buffered frozen bytes have to hit disk here.
+	if err := frozen.sync(); err != nil {
+		e.err = err
+		e.mu.Unlock()
+		return err
+	}
+	nw, err := newWAL(filepath.Join(e.dir, walFileName(e.walSeq+1)))
+	if err != nil {
+		e.err = err
+		e.mu.Unlock()
+		return err
+	}
+	e.walSeq++
+	e.wal = nw
+	e.mu.Unlock()
+
+	if err := e.materialize(snap); err != nil {
+		// Keep the frozen log file on disk — it is the only durable home
+		// of snap now — but release its descriptor; the engine is failed
+		// (sticky error) and recovery replays the file at the next Open.
+		frozen.close()
+		e.mu.Lock()
+		if e.err == nil {
+			e.err = err
+		}
+		e.mu.Unlock()
+		return err
+	}
+	frozen.close()
+	os.Remove(frozen.path)
+	e.flushes.Add(1)
+	e.kickCompactor()
+	return nil
+}
+
+// materialize dedupes keys against the served segments and commits the
+// novel remainder as one new trained segment. Called from Flush (off the
+// write mutex) and from Open (recovery replay).
+func (e *Engine) materialize(keys []uint64) error {
+	fresh := slices.Clone(keys)
+	slices.Sort(fresh)
+	fresh = slices.Compact(fresh)
+	// Segment disjointness: drop keys already served by an older segment.
+	segs := *e.segs.Load()
+	fresh = slices.DeleteFunc(fresh, func(k uint64) bool { return containsIn(segs, k) })
+	if len(fresh) == 0 {
+		return nil
+	}
+	seq := e.nextSeq
+	seg, err := writeSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+	if err != nil {
+		return err
+	}
+	e.nextSeq = seq + 1
+	e.modelsTrained.Add(1)
+	e.segMu.Lock()
+	next := append(slices.Clone(*e.segs.Load()), seg)
+	e.segs.Store(&next)
+	e.segMu.Unlock()
+	return nil
+}
+
+// scanWALFiles returns the wal-*.log files in dir, sorted by sequence.
+func scanWALFiles(dir string) (seqs []uint64, paths []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type sw struct {
+		seq  uint64
+		path string
+	}
+	var all []sw
+	for _, ent := range entries {
+		if seq, ok := parseWALFileName(ent.Name()); ok {
+			all = append(all, sw{seq, filepath.Join(dir, ent.Name())})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, s := range all {
+		seqs = append(seqs, s.seq)
+		paths = append(paths, s.path)
+	}
+	return seqs, paths, nil
+}
+
+// containsIn answers membership over a segment list, newest first so the
+// most recently flushed (often hottest) runs are consulted early. The
+// min/max fence and the Bloom filter prune almost every miss before any
+// model or key block is touched.
+func containsIn(segs []*segment, key uint64) bool {
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		if key < s.minKey() || key > s.maxKey() {
+			continue
+		}
+		if !s.filter.MayContainUint64(key) {
+			continue
+		}
+		if s.rmi.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key is served (flushed). Lock-free.
+func (e *Engine) Contains(key uint64) bool {
+	return containsIn(*e.segs.Load(), key)
+}
+
+// ContainsBatch answers Contains for every probe against one captured
+// segment list, writing into out (len(out) must equal len(probes)) — a
+// single consistent view even when a flush publishes mid-batch.
+func (e *Engine) ContainsBatch(probes []uint64, out []bool) {
+	segs := *e.segs.Load()
+	for i, k := range probes {
+		out[i] = containsIn(segs, k)
+	}
+}
+
+// Lookup returns the global lower-bound position of key over all served
+// keys: the number of served keys < key. Segments hold disjoint key sets,
+// so the global position is the exact sum of per-segment positions; the
+// min/max fence resolves out-of-range segments with two comparisons
+// instead of a model run (a probe at or below a segment's minimum
+// contributes 0, one above its maximum contributes the full count).
+func (e *Engine) Lookup(key uint64) int {
+	total := 0
+	for _, s := range *e.segs.Load() {
+		switch {
+		case key <= s.minKey():
+			// contributes 0
+		case key > s.maxKey():
+			total += len(s.keys)
+		default:
+			total += s.rmi.Lookup(key)
+		}
+	}
+	return total
+}
+
+// posScratch pools the per-segment position buffer of LookupBatchSorted
+// so the batched read path stays allocation-free in steady state (the
+// serving layer above already promises one allocation per batch).
+var posScratch = sync.Pool{New: func() any { return new([]int) }}
+
+// LookupBatchSorted answers Lookup for an ascending probe batch, writing
+// into out (len(out) must equal len(probes)). Each segment resolves the
+// whole batch with its amortized sorted-batch primitive.
+func (e *Engine) LookupBatchSorted(probes []uint64, out []int) {
+	for i := range out {
+		out[i] = 0
+	}
+	if len(probes) == 0 {
+		return
+	}
+	tp := posScratch.Get().(*[]int)
+	if cap(*tp) < len(probes) {
+		*tp = make([]int, len(probes))
+	}
+	tmp := (*tp)[:len(probes)]
+	for _, s := range *e.segs.Load() {
+		// Fence the sorted batch once per segment: probes at or below the
+		// segment minimum contribute 0, probes above its maximum
+		// contribute the full count; only the in-range middle runs the
+		// model.
+		lo := sort.Search(len(probes), func(i int) bool { return probes[i] > s.minKey() })
+		hi := sort.Search(len(probes), func(i int) bool { return probes[i] > s.maxKey() })
+		if lo < hi {
+			s.rmi.LookupBatchSorted(probes[lo:hi], tmp[lo:hi])
+			for i := lo; i < hi; i++ {
+				out[i] += tmp[i]
+			}
+		}
+		for i := hi; i < len(probes); i++ {
+			out[i] += len(s.keys)
+		}
+	}
+	posScratch.Put(tp)
+}
+
+// Len returns the number of served (flushed) distinct keys.
+func (e *Engine) Len() int {
+	total := 0
+	for _, s := range *e.segs.Load() {
+		total += len(s.keys)
+	}
+	return total
+}
+
+// PendingLen returns how many appended keys await the next Flush
+// (duplicates included).
+func (e *Engine) PendingLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// Keys returns all served keys, sorted ascending — a fresh merged copy.
+func (e *Engine) Keys() []uint64 {
+	segs := *e.segs.Load()
+	total := 0
+	for _, s := range segs {
+		total += len(s.keys)
+	}
+	out := make([]uint64, 0, total)
+	for _, s := range segs {
+		out = append(out, s.keys...)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Stats snapshots the engine's observable state.
+func (e *Engine) Stats() Stats {
+	segs := *e.segs.Load()
+	st := Stats{
+		Segments:      len(segs),
+		ModelsLoaded:  int(e.modelsLoaded.Load()),
+		ModelsTrained: int(e.modelsTrained.Load()),
+		Flushes:       int(e.flushes.Load()),
+		Compactions:   int(e.compactions.Load()),
+	}
+	for _, s := range segs {
+		st.Keys += len(s.keys)
+		st.DiskBytes += s.diskBytes
+	}
+	e.mu.Lock()
+	st.PendingKeys = len(e.pending)
+	if e.wal != nil {
+		st.WALBytes = e.wal.size
+	}
+	e.mu.Unlock()
+	return st
+}
+
+// Dir returns the engine's root directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// kickCompactor nudges the background compactor without blocking.
+func (e *Engine) kickCompactor() {
+	select {
+	case e.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactor is the background goroutine: after every flush signal it
+// merges until no tier is over its fanout. Errors latch into the sticky
+// error (compactOnce does it), so a failing disk surfaces on the next
+// Sync/Flush/Close instead of churning silently; the loop also stops
+// retrying once the error is set.
+func (e *Engine) compactor() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.compactCh:
+			for {
+				changed, err := e.compactOnce()
+				if err != nil || !changed {
+					break
+				}
+			}
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// Compact runs size-tiered compaction to quiescence in the caller's
+// goroutine (useful with NoCompactor and in tests).
+func (e *Engine) Compact() error {
+	for {
+		changed, err := e.compactOnce()
+		if err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// sizeClass buckets a segment's on-disk size into power-of-4 tiers, the
+// classic size-tiered grouping: runs within ~4x of each other share a
+// class and are merge candidates.
+func sizeClass(bytes int64) int {
+	return bits.Len64(uint64(bytes)) / 2
+}
+
+// compactOnce merges one eligible run: the lowest size class (smallest
+// segments first) holding a contiguous run of at least CompactFanout
+// same-class segments, oldest run first, capped at 2x fanout inputs. The
+// merge trains the replacement off the segment lock; publication swaps
+// the list atomically and the input files are deleted afterwards —
+// recovery's containment rule covers a crash anywhere in between.
+func (e *Engine) compactOnce() (bool, error) {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	failed := e.err
+	e.mu.Unlock()
+	if failed != nil {
+		return false, failed // write plane already latched; don't churn
+	}
+	e.segMu.Lock()
+	segs := *e.segs.Load()
+	fanout := e.opts.CompactFanout
+	bestStart, bestLen, bestClass := -1, 0, int(^uint(0)>>1)
+	for i := 0; i < len(segs); {
+		c := sizeClass(segs[i].diskBytes)
+		j := i
+		for j < len(segs) && sizeClass(segs[j].diskBytes) == c {
+			j++
+		}
+		if j-i >= fanout && c < bestClass {
+			bestStart, bestLen, bestClass = i, min(j-i, 2*fanout), c
+		}
+		i = j
+	}
+	if bestStart < 0 {
+		e.segMu.Unlock()
+		return false, nil
+	}
+	run := segs[bestStart : bestStart+bestLen]
+	e.segMu.Unlock()
+
+	// Heavy work off the lock: merge the disjoint sorted runs and train
+	// the replacement. Readers keep serving the old list meanwhile.
+	merged := mergeRuns(run)
+	seg, err := writeSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
+	if err != nil {
+		e.mu.Lock()
+		if e.err == nil {
+			e.err = err
+		}
+		e.mu.Unlock()
+		return false, err
+	}
+	e.modelsTrained.Add(1)
+
+	e.segMu.Lock()
+	cur := slices.Clone(*e.segs.Load())
+	// Flush only appends and no other compaction runs (segMu serializes
+	// publication; the run was chosen under segMu too), so the run still
+	// sits at bestStart.
+	next := append(cur[:bestStart:bestStart], seg)
+	next = append(next, cur[bestStart+bestLen:]...)
+	e.segs.Store(&next)
+	e.segMu.Unlock()
+	e.compactions.Add(1)
+	for _, s := range run {
+		os.Remove(s.path) // a leftover is GC'd by containment at next open
+	}
+	return true, nil
+}
+
+// mergeRuns k-way merges disjoint sorted key arrays into one fresh array.
+func mergeRuns(run []*segment) []uint64 {
+	total := 0
+	for _, s := range run {
+		total += len(s.keys)
+	}
+	out := make([]uint64, 0, total)
+	for _, s := range run {
+		out = append(out, s.keys...)
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// Close flushes pending keys, stops the compactor, and closes the active
+// WAL. The engine is unusable afterwards. Returns the sticky write error,
+// if any, so a failed ack surfaces at least once.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.quit)
+	e.wg.Wait()
+	ferr := e.Flush()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cerr := e.wal.close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

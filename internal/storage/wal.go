@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"learnedindex/internal/binenc"
+)
+
+// Write-ahead log. Every Append is one framed record:
+//
+//	[payloadLen uint32 LE][crc32c(payload) uint32 LE][payload]
+//	payload = uvarint keyCount, then keyCount uvarint keys
+//
+// Durability contract: Append is buffered; only Sync makes previously
+// appended records crash-safe (flush + fsync). Recovery scans records
+// front to back, stops at the first frame whose length, checksum, or
+// payload fails validation, and truncates everything after it — a torn
+// tail (the bytes past the last fsync that partially reached disk) is cut
+// off without surfacing any invented key, while every record fully on
+// disk is replayed.
+//
+// Logs rotate rather than truncate: files are named wal-<seq>.log, and a
+// flush freezes the active log (fsync), starts a fresh one, and deletes
+// the frozen file only after its contents are committed to a segment.
+// Keys therefore always live in at least one durable place, and the
+// engine's write mutex is never held across segment training. Recovery
+// replays every wal-*.log in sequence order.
+const (
+	// maxWALRecord bounds a single record's payload; a length prefix beyond
+	// it is treated as a torn/corrupt frame rather than an allocation.
+	maxWALRecord = 1 << 26
+	walHeaderLen = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func walFileName(seq uint64) string { return fmt.Sprintf("wal-%016x.log", seq) }
+
+// parseWALFileName extracts the sequence number, rejecting anything that
+// does not match the canonical name.
+func parseWALFileName(name string) (seq uint64, ok bool) {
+	n, err := fmt.Sscanf(name, "wal-%016x.log", &seq)
+	if err != nil || n != 1 || name != walFileName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// wal is one open log file. It is not goroutine-safe; the Engine
+// serializes access under its mutex.
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	size int64 // logical end of the last appended record (incl. buffered)
+}
+
+// newWAL creates a fresh, empty log at path.
+func newWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// replayWAL scans data for intact records and returns the decoded keys
+// plus the byte offset of the end of the last intact record — the
+// truncation point for everything after it. It never panics on arbitrary
+// input and never returns a key from a frame that fails validation.
+func replayWAL(data []byte) (keys []uint64, good int64) {
+	off := 0
+	for {
+		if len(data)-off < walHeaderLen {
+			return keys, int64(off)
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxWALRecord || len(data)-off-walHeaderLen < plen {
+			return keys, int64(off)
+		}
+		payload := data[off+walHeaderLen : off+walHeaderLen+plen]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return keys, int64(off)
+		}
+		r := binenc.NewReader(payload)
+		n := r.Count(plen, 1)
+		recKeys := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			recKeys = append(recKeys, r.Uvarint())
+		}
+		// A checksummed record must decode exactly; leftovers or a decode
+		// error mean the frame was written by something else — stop here.
+		if r.Err() != nil || r.Remaining() != 0 {
+			return keys, int64(off)
+		}
+		keys = append(keys, recKeys...)
+		off += walHeaderLen + plen
+	}
+}
+
+// append frames keys as one record into the write buffer.
+func (w *wal) append(keys []uint64) error {
+	payload := binenc.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		payload = binenc.AppendUvarint(payload, k)
+	}
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("storage: WAL record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [walHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.size += int64(walHeaderLen + len(payload))
+	return nil
+}
+
+// sync makes every appended record durable: buffer flush plus fsync.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close flushes and closes the file without fsync (callers sync first
+// when they need durability).
+func (w *wal) close() error {
+	ferr := w.w.Flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -18,6 +18,7 @@ package learnedindex
 import (
 	"learnedindex/internal/core"
 	"learnedindex/internal/serve"
+	"learnedindex/internal/storage"
 )
 
 // Range index (§2–3): the Recursive Model Index.
@@ -50,10 +51,17 @@ type (
 	// shards, lock-free RCU-style reads, buffered inserts merged and
 	// retrained by a background goroutine, and batched lookups that
 	// amortize model routing across a sorted probe batch. See the package
-	// comment of internal/serve for the consistency model.
+	// comment of internal/serve for the consistency model. With
+	// StoreOptions.Dir set (open with OpenStore) the Store is persistent:
+	// WAL-backed inserts with a Sync durability barrier, learned segment
+	// files, crash recovery, and background compaction.
 	Store = serve.Store
-	// StoreOptions sets the shard count and per-shard merge threshold.
+	// StoreOptions sets the shard count and per-shard merge threshold,
+	// and — via Dir — switches the Store to the persistent storage engine.
 	StoreOptions = serve.Options
+	// StorageStats reports a persistent Store's disk state: segments,
+	// bytes, WAL size, and how many models were deserialized vs trained.
+	StorageStats = storage.Stats
 )
 
 // Point index (§4): learned hash functions.
@@ -102,8 +110,14 @@ var (
 	// NewDelta wraps an RMI with an insert buffer (Appendix D.1).
 	NewDelta = core.NewDelta
 	// NewStore builds the concurrent sharded serving layer and starts its
-	// background merger; Close it when done.
+	// background merger; Close it when done. Panics on a storage error
+	// when StoreOptions.Dir is set — prefer OpenStore for persistence.
 	NewStore = serve.New
+	// OpenStore builds the serving layer like NewStore but returns engine
+	// errors instead of panicking; with StoreOptions.Dir set it opens (or
+	// crash-recovers) the persistent store rooted there, serving lookups
+	// from deserialized segment models without retraining.
+	OpenStore = serve.Open
 	// NewLearnedHash trains a CDF hash targeting a slot count (§4.1).
 	NewLearnedHash = core.NewLearnedHash
 	// NewLearnedHashFromRMI reuses a trained RMI as the CDF model.
