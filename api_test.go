@@ -53,6 +53,24 @@ func TestPublicAPICustomConfig(t *testing.T) {
 	}
 }
 
+func TestPublicAPICompiledPlan(t *testing.T) {
+	keys := sortedKeys(30_000)
+	idx := learnedindex.New(keys, learnedindex.DefaultConfig(300))
+	var p *learnedindex.Plan = idx.Plan()
+	probes := []uint64{0, keys[0], keys[12_345], keys[29_999], keys[29_999] + 1}
+	out := make([]int, len(probes))
+	p.LookupBatch(probes, out)
+	for i, k := range probes {
+		want := idx.Lookup(k)
+		if got := p.Lookup(k); got != want || out[i] != want {
+			t.Fatalf("Plan lookup(%d) = %d/%d, want %d", k, got, out[i], want)
+		}
+	}
+	if !p.Contains(keys[7]) || p.Contains(keys[29_999]+1) {
+		t.Fatal("Plan.Contains broken")
+	}
+}
+
 func TestPublicAPILearnedHash(t *testing.T) {
 	keys := sortedKeys(20_000)
 	h := learnedindex.NewLearnedHash(keys, len(keys), 1000)

@@ -5,13 +5,21 @@
 //	lix-bench [flags] <experiment>...
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
-// figure11, table1, appendixA, appendixE, serve, storage, all (everything
-// except the GRU-training path of figure10; add -gru to include it).
-// serve and storage are this repo's extensions beyond the paper: serve is
+// figure11, table1, appendixA, appendixE, serve, storage, compiled,
+// searchshootout, all (everything except the GRU-training path of
+// figure10; add -gru to include it). serve, storage, compiled, and
+// searchshootout are this repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
 // on-disk lookup throughput, and cold-open latency vs the in-memory RMI
-// (-dir controls where its segment files are written).
+// (-dir controls where its segment files are written); compiled is the
+// devirtualized flat read path (core.Plan) vs the interpreted model tree;
+// searchshootout races the §3.4 last-mile strategies plus branchless
+// lower-bound search on identical precomputed windows.
+//
+// Experiments also write machine-readable BENCH_<experiment>.json files
+// (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
+// disables), so the repo's perf trajectory is diffable across PRs.
 //
 // Flags scale the run; defaults are laptop-sized with the paper's ratios
 // preserved (see DESIGN.md §3).
@@ -35,18 +43,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	gru := flag.Bool("gru", false, "train the GRU series in figure10 (slow)")
 	dir := flag.String("dir", os.TempDir(), "directory for the storage experiment's segment files")
+	jsonDir := flag.String("jsondir", ".", "directory for machine-readable BENCH_<experiment>.json results (empty disables)")
 	flag.Parse()
 
 	opts := experiments.Options{
 		N: *n, NStr: *nstr, NUrl: *nurl,
 		Probes: *probes, Rounds: *rounds, Seed: *seed,
-		Dir: *dir,
+		Dir: *dir, JSONDir: *jsonDir,
 		Out: os.Stdout,
 	}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|all>...")
 		os.Exit(2)
 	}
 	for _, exp := range args {
@@ -81,8 +90,12 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.Serve(opts)
 	case "storage":
 		experiments.Storage(opts)
+	case "compiled":
+		experiments.Compiled(opts)
+	case "searchshootout":
+		experiments.SearchShootout(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout"} {
 			run(e, opts, gru)
 		}
 		return

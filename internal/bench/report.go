@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReportRow is one measured configuration in a machine-readable benchmark
+// report: the stable identifier plus the metrics the repo tracks across
+// PRs (ns/op, index bytes, max model error), with free-form extras for
+// experiment-specific numbers (speedups, throughputs, shares).
+type ReportRow struct {
+	Config  string             `json:"config"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Bytes   int                `json:"bytes,omitempty"`
+	MaxErr  int                `json:"max_err,omitempty"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the machine-readable result of one lix-bench experiment,
+// written as BENCH_<experiment>.json so the repo's perf trajectory is
+// diffable across PRs.
+type Report struct {
+	Experiment string      `json:"experiment"`
+	N          int         `json:"n"`
+	Probes     int         `json:"probes"`
+	Rows       []ReportRow `json:"rows"`
+}
+
+// Add appends one row.
+func (r *Report) Add(row ReportRow) { r.Rows = append(r.Rows, row) }
+
+// WriteJSON writes the report as <dir>/BENCH_<experiment>.json and returns
+// the path.
+func (r *Report) WriteJSON(dir string) (string, error) {
+	if r.Experiment == "" {
+		return "", fmt.Errorf("bench: report has no experiment name")
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"learnedindex/internal/ml"
+	"learnedindex/internal/search"
+)
+
+// Plan is the compiled read path: the RMI's model tree lowered into a
+// flat inference plan. The interpreted path (RMI.lookupFrom) pays Go
+// interface dispatch on the top model, pointer-chases [][]linmod, and
+// branches on SearchKind at every lookup; the paper's §3.2 claim is that
+// an RMI lookup is nothing but a handful of multiply-adds plus a tiny
+// bounded search. Compile recovers that cost model:
+//
+//   - Top stage devirtualized: monomorphic fast paths for TopLinear and
+//     TopMultivariate (closure-free folded coefficients); only TopNN falls
+//     back to the ml.Model interface.
+//   - Flat contiguous coefficients: all inner stages share one []float64
+//     of interleaved (a, b) pairs — one slice header, no [][] indirection
+//     — and leaves are packed 32-byte records, one cache line per lookup.
+//   - Routing scales folded: the ⌊M·f(x)/N⌋ stage transition's size/N
+//     factor is multiplied into the feeding model's coefficients at
+//     compile time, so routing is a single FMA plus clamp, zero divides.
+//   - Search resolved once: cfg.Search is lowered to a concrete function
+//     at compile time (interpolated-then-branchless for the default
+//     model-biased kind, branchless bisection for plain binary) instead
+//     of a per-lookup switch.
+//
+// A Plan is immutable and safe for concurrent use. Results are
+// bit-identical to the interpreted path (pinned by the equivalence oracle
+// tests): every strategy resolves the true global lower bound, and folded
+// routing can only shift which leaf serves a probe, never the answer —
+// window expansion guarantees correctness from any prediction.
+type Plan struct {
+	keys []uint64
+	n    int
+
+	// Top stage. topKind selects the monomorphic evaluation; the folded
+	// routing scale StageSizes[0]/N is already in the coefficients (linear,
+	// multivariate) or applied via topScale (interface fallback).
+	topKind  TopKind
+	topA     float64 // TopLinear: route = clamp(int(topA·x + topB))
+	topB     float64
+	topBias  float64   // TopMultivariate: route = clamp(int(topBias + Σ topCoef·feat))
+	topFeat  []int     // standard-menu feature indexes
+	topCoef  []float64 // standardization and routing scale folded in
+	top      ml.Model  // fallback (TopNN, custom-menu multivariate)
+	topScale float64   // fallback routing multiplier StageSizes[0]/N
+	topSize  int       // StageSizes[0]
+
+	// Inner stages (all but the last): one flat slice of interleaved
+	// (a, b) pairs with the next stage's routing scale folded in.
+	// Stage s's model j lives at inner[innerOff[s]+2j : +2].
+	inner      []float64
+	innerOff   []int32
+	innerClamp []int32 // model count of the stage being routed into
+
+	// Leaves (last stage): one flat slice of packed 32-byte records, so a
+	// lookup's entire leaf state — coefficients, error window, σ, hybrid
+	// flag — arrives in a single cache line fetch. Coefficients are raw:
+	// leaf predictions are positions, not routes, so nothing is folded.
+	leaves []planLeaf
+
+	// hybrid is non-nil only when B-Tree replacement leaves exist; entry
+	// idx points at the replaced leaf, nil for model leaves.
+	hybrid []*leaf
+	src    *RMI // hybrid descent and interface-model fallback
+
+	search     searchFunc
+	searchKind SearchKind
+}
+
+// planLeaf is the packed 32-byte leaf record of the compiled plan: model
+// coefficients plus the §3.3 error metadata, two records per cache line.
+type planLeaf struct {
+	a, b           float64
+	minErr, maxErr int32
+	sigma          int32 // int(stdErr), for the quaternary probes
+	flags          int32 // leafHybrid when a B-Tree replaced this leaf
+}
+
+const leafHybrid = 1
+
+// searchFunc is a compile-time-resolved last-mile strategy. All five
+// return the global lower bound of key (the §3.4 guarantees): lo/hi is the
+// clamped error window, pred the clamped raw prediction, sigma the leaf's
+// integer standard error.
+type searchFunc func(keys []uint64, key uint64, lo, hi, pred, sigma int) int
+
+func searchBranchlessBinary(keys []uint64, key uint64, lo, hi, pred, sigma int) int {
+	return search.BranchlessWithExpansion(keys, key, lo, hi)
+}
+
+// searchCompiledModelBiased is the compiled lowering of the paper's
+// default model-biased search. The window [lo, hi) is already the model's
+// prediction ± its per-leaf error bounds, so the compiled path extends the
+// same model-guides-the-search idea one step further: probe points are
+// interpolated from the window's own key values (2–3 dependent loads on
+// smooth leaves) with a branchless bisection finish, instead of bisecting
+// the half-window around pred (log2(hi-lo) dependent loads). Identical
+// results — both resolve the window lower bound, then verify/expand.
+func searchCompiledModelBiased(keys []uint64, key uint64, lo, hi, pred, sigma int) int {
+	pos := search.Interpolated(keys, key, lo, hi)
+	return verifyOrExpandIn(keys, key, pos, lo, hi)
+}
+
+func searchCompiledQuaternary(keys []uint64, key uint64, lo, hi, pred, sigma int) int {
+	pos := search.BiasedQuaternary(keys, key, lo, hi, pred, sigma)
+	return verifyOrExpandIn(keys, key, pos, lo, hi)
+}
+
+func searchCompiledExponential(keys []uint64, key uint64, lo, hi, pred, sigma int) int {
+	return search.Exponential(keys, key, len(keys), pred)
+}
+
+func resolveSearch(kind SearchKind) searchFunc {
+	switch kind {
+	case SearchBinary:
+		return searchBranchlessBinary
+	case SearchQuaternary:
+		return searchCompiledQuaternary
+	case SearchExponential:
+		return searchCompiledExponential
+	default:
+		return searchCompiledModelBiased
+	}
+}
+
+// Compile lowers the trained (or decoded) model tree into a Plan. It is
+// called once by New and DecodeRMI; Plan() returns the cached result, and
+// calling Compile again just rebuilds an equivalent plan.
+func (r *RMI) Compile() *Plan { return r.compile() }
+
+func (r *RMI) compile() *Plan {
+	p := &Plan{
+		keys:       r.keys,
+		n:          len(r.keys),
+		src:        r,
+		searchKind: r.cfg.Search,
+		search:     resolveSearch(r.cfg.Search),
+		topSize:    len(r.leaves),
+	}
+	if len(r.cfg.StageSizes) > 0 {
+		p.topSize = r.cfg.StageSizes[0]
+	}
+	if p.topSize < 1 {
+		p.topSize = 1
+	}
+
+	// Routing scale of the stage the top model feeds.
+	scale0 := 0.0
+	if len(r.routeMul) > 0 {
+		scale0 = r.routeMul[0]
+	}
+	p.topKind = TopNN // interface fallback unless a fast path matches
+	p.top = r.top
+	p.topScale = scale0
+	switch m := r.top.(type) {
+	case ml.Linear:
+		p.topKind = TopLinear
+		p.topA = m.A * scale0
+		p.topB = m.B * scale0
+	case ml.Constant:
+		p.topKind = TopLinear
+		p.topA = 0
+		p.topB = m.C * scale0
+	case *ml.Multivariate:
+		if bias, feat, coef, ok := m.Folded(); ok {
+			p.topKind = TopMultivariate
+			p.topBias = bias * scale0
+			p.topFeat = feat
+			p.topCoef = coef
+			for i := range p.topCoef {
+				p.topCoef[i] *= scale0
+			}
+		}
+	}
+
+	// Inner stages: flatten with the next stage's scale folded in.
+	if ns := len(r.stages); ns > 0 {
+		total := 0
+		for _, st := range r.stages {
+			total += len(st)
+		}
+		p.inner = make([]float64, 0, 2*total)
+		p.innerOff = make([]int32, ns)
+		p.innerClamp = make([]int32, ns)
+		for s, st := range r.stages {
+			mul := r.routeMul[s+1]
+			p.innerOff[s] = int32(len(p.inner))
+			p.innerClamp[s] = int32(r.cfg.StageSizes[s+1])
+			for _, m := range st {
+				p.inner = append(p.inner, m.a*mul, m.b*mul)
+			}
+		}
+	}
+
+	// Leaves: one packed record per leaf, raw coefficients.
+	nl := len(r.leaves)
+	p.leaves = make([]planLeaf, nl)
+	for j := range r.leaves {
+		lf := &r.leaves[j]
+		p.leaves[j] = planLeaf{
+			a: lf.m.a, b: lf.m.b,
+			minErr: lf.minErr, maxErr: lf.maxErr,
+			sigma: int32(lf.stdErr),
+		}
+		if lf.btPos != nil {
+			if p.hybrid == nil {
+				p.hybrid = make([]*leaf, nl)
+			}
+			p.hybrid[j] = lf
+			p.leaves[j].flags = leafHybrid
+		}
+	}
+	return p
+}
+
+// route runs the devirtualized model hierarchy for x and returns the leaf
+// index: one FMA + clamp per stage, no divides, no interface calls on the
+// monomorphic paths.
+func (p *Plan) route(x float64) int {
+	var idx int
+	switch p.topKind {
+	case TopLinear:
+		idx = int(p.topA*x + p.topB)
+	case TopMultivariate:
+		y := p.topBias
+		for i, fi := range p.topFeat {
+			y += p.topCoef[i] * ml.StandardFeature(fi, x)
+		}
+		idx = int(y)
+	default:
+		idx = int(p.top.Predict(x) * p.topScale)
+	}
+	if idx < 0 {
+		idx = 0
+	} else if idx >= p.topSize {
+		idx = p.topSize - 1
+	}
+	for s := range p.innerOff {
+		base := p.innerOff[s] + int32(2*idx)
+		nxt := int(p.inner[base]*x + p.inner[base+1])
+		clamp := int(p.innerClamp[s])
+		if nxt < 0 {
+			nxt = 0
+		} else if nxt >= clamp {
+			nxt = clamp - 1
+		}
+		idx = nxt
+	}
+	return idx
+}
+
+// Lookup returns the lower-bound position of key — the index of the first
+// stored key >= key — with results bit-identical to RMI.Lookup.
+func (p *Plan) Lookup(key uint64) int {
+	if p.n == 0 {
+		return 0
+	}
+	x := float64(key)
+	idx := p.route(x)
+	lf := &p.leaves[idx]
+	if lf.flags&leafHybrid != 0 {
+		return p.src.lookupHybrid(key, p.hybrid[idx])
+	}
+	rawPred := int(lf.a*x + lf.b)
+	lo, hi := clampWindow(rawPred+int(lf.minErr), rawPred+int(lf.maxErr)+1, p.n)
+	pred := clampInt(rawPred, 0, p.n-1)
+	return p.search(p.keys, key, lo, hi, pred, int(lf.sigma))
+}
+
+// Contains reports whether key is stored.
+func (p *Plan) Contains(key uint64) bool {
+	pos := p.Lookup(key)
+	return pos < p.n && p.keys[pos] == key
+}
+
+// batchGroup is the interleaving width of the batch executors: each
+// pipeline stage (predict, route, window, search) runs for a group of this
+// many keys before the next stage starts, so the group's independent cache
+// misses overlap instead of serializing — the software analogue of the
+// memory-level parallelism FAST schedules explicitly (internal/fast).
+// 16 keys keep every per-group scratch array in registers/L1 while giving
+// the memory system a deep enough window of independent loads.
+const batchGroup = 16
+
+// LookupBatch answers Lookup for every probe (any order), writing the
+// lower-bound positions into out (len(out) must equal len(probes)).
+// Execution is group-interleaved: predict×G → route×G → window×G →
+// search×G. The search stage runs all G branchless lower-bound searches in
+// lockstep — one halving step for every key in the group before the next
+// step — so the group keeps G independent key-array loads in flight where
+// a per-key loop would serialize its dependent cache misses (the software
+// analogue of the memory-level parallelism FAST schedules explicitly).
+// Results are bit-identical to per-key Lookup for every SearchKind: each
+// search resolves the true global lower bound, and the lockstep window
+// search plus boundary expansion resolves exactly the same bound.
+func (p *Plan) LookupBatch(probes []uint64, out []int) {
+	if p.n == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	for start := 0; start < len(probes); start += batchGroup {
+		g := len(probes) - start
+		if g > batchGroup {
+			g = batchGroup
+		}
+		p.lookupGroup(probes[start:start+g], out[start:start+g])
+	}
+}
+
+// lookupGroup runs the full pipeline for one group of at most batchGroup
+// probes: predict×G → route×G → window×G → search×G. The search stage is
+// a lockstep branchless bisection: every round issues one independent
+// key-array load per still-active key and narrows its window with a
+// conditional move — no data-dependent branch, no dependence between the
+// group's loads — so the group keeps up to G misses in flight where a
+// per-key loop would serialize its dependent chains (the software
+// analogue of the memory-level parallelism FAST schedules explicitly,
+// internal/fast).
+//
+// Results are bit-identical to per-key Lookup for every SearchKind: each
+// per-key strategy resolves the true global lower bound, and the lockstep
+// search's certificate/expansion epilogue resolves exactly the same bound.
+func (p *Plan) lookupGroup(group []uint64, out []int) {
+	g := len(group)
+	var xs [batchGroup]float64
+	var idx [batchGroup]int32
+	var lo, hi [batchGroup]int
+	// Stage 1: float conversion + full model route for the group.
+	for i := 0; i < g; i++ {
+		xs[i] = float64(group[i])
+	}
+	for i := 0; i < g; i++ {
+		idx[i] = int32(p.route(xs[i]))
+	}
+	// Stage 2: leaf windows (one packed record load per key). Hybrid
+	// leaves are resolved in the epilogue — their descent is its own
+	// pipeline.
+	hybridMask := uint32(0)
+	for i := 0; i < g; i++ {
+		lf := &p.leaves[idx[i]]
+		rawPred := int(lf.a*xs[i] + lf.b)
+		wlo, whi := clampWindow(rawPred+int(lf.minErr), rawPred+int(lf.maxErr)+1, p.n)
+		lo[i], hi[i] = wlo, whi
+		hybridMask |= uint32(lf.flags&leafHybrid) << i
+	}
+	// Stage 3: lockstep branchless bisection across the group. Every
+	// round issues up to G independent loads; rounds continue until the
+	// widest window is resolved.
+	for {
+		active := false
+		for i := 0; i < g; i++ {
+			n := hi[i] - lo[i]
+			if n <= 1 {
+				continue
+			}
+			half := n >> 1
+			base := lo[i]
+			// Compiled to CMOV: no branch on key data.
+			if p.keys[base+half-1] < group[i] {
+				base += half
+			}
+			lo[i] = base
+			hi[i] = base + (n - half)
+			if n-half > 1 {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	// Epilogue: final element test, then certificate or §3.4 expansion
+	// (rare: non-stored probes whose window missed), and hybrid fallbacks.
+	for i := 0; i < g; i++ {
+		if hybridMask&(1<<i) != 0 {
+			out[i] = p.src.lookupHybrid(group[i], p.hybrid[idx[i]])
+			continue
+		}
+		pos := lo[i]
+		if pos < hi[i] && p.keys[pos] < group[i] {
+			pos++
+		}
+		out[i] = p.resolveBoundary(group[i], pos)
+	}
+}
+
+// resolveBoundary finishes one lockstep search: windows are per-leaf error
+// bounds, so a result may be window-correct but globally wrong for probes
+// the window missed. A result certified by its neighbors is returned as
+// is; anything else re-searches with §3.4 expansion from the result
+// outward.
+func (p *Plan) resolveBoundary(key uint64, pos int) int {
+	if pos > 0 && pos < p.n {
+		// Strictly interior results are self-certifying: keys[pos-1] < key
+		// <= keys[pos] proves the global lower bound.
+		if p.keys[pos-1] < key && p.keys[pos] >= key {
+			return pos
+		}
+	} else if pos == 0 {
+		if p.keys[0] >= key {
+			return 0
+		}
+	} else if pos == p.n {
+		if p.keys[p.n-1] < key {
+			return p.n
+		}
+	}
+	return search.BranchlessWithExpansion(p.keys, key, pos, pos)
+}
+
+// LookupBatchSorted answers Lookup for an ascending probe batch, writing
+// into out (len(out) must equal len(probes)). Identical group-interleaved
+// pipeline to LookupBatch — ascending probes additionally give the search
+// stage natural left-to-right locality — plus a skip for batches entirely
+// past the last key. Results are identical to per-key Lookup.
+func (p *Plan) LookupBatchSorted(probes []uint64, out []int) {
+	if p.n == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	last := p.keys[p.n-1]
+	for start := 0; start < len(probes); start += batchGroup {
+		g := len(probes) - start
+		if g > batchGroup {
+			g = batchGroup
+		}
+		if probes[start] > last {
+			// Ascending batch: every remaining probe is past the last key.
+			for i := start; i < len(probes); i++ {
+				out[i] = p.n
+			}
+			return
+		}
+		p.lookupGroup(probes[start:start+g], out[start:start+g])
+	}
+}
+
+// ContainsBatch reports membership for every probe (any order), writing
+// into out (len(out) must equal len(probes)). Group-interleaved like
+// LookupBatch.
+func (p *Plan) ContainsBatch(probes []uint64, out []bool) {
+	if p.n == 0 {
+		for i := range out {
+			out[i] = false
+		}
+		return
+	}
+	var pos [batchGroup]int
+	for start := 0; start < len(probes); start += batchGroup {
+		g := len(probes) - start
+		if g > batchGroup {
+			g = batchGroup
+		}
+		group := probes[start : start+g]
+		p.LookupBatch(group, pos[:g])
+		for i := 0; i < g; i++ {
+			q := pos[i]
+			out[start+i] = q < p.n && p.keys[q] == group[i]
+		}
+	}
+}
+
+// Len returns the number of indexed keys.
+func (p *Plan) Len() int { return p.n }
+
+// SearchKind returns the compile-time-resolved search strategy.
+func (p *Plan) SearchKind() SearchKind { return p.searchKind }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnedindex/internal/data"
+)
+
+// assertPlanEquivalent checks that the compiled plan answers bit-identically
+// to the interpreted RMI on every probe, through every entry point.
+func assertPlanEquivalent(t *testing.T, name string, r *RMI, probes []uint64) {
+	t.Helper()
+	p := r.Plan()
+	if p == nil {
+		t.Fatalf("%s: nil plan", name)
+	}
+	want := make([]int, len(probes))
+	for i, k := range probes {
+		want[i] = r.Lookup(k)
+		if got := p.Lookup(k); got != want[i] {
+			t.Fatalf("%s: Plan.Lookup(%d) = %d, RMI.Lookup = %d", name, k, got, want[i])
+		}
+		if got, exp := p.Contains(k), r.Contains(k); got != exp {
+			t.Fatalf("%s: Plan.Contains(%d) = %v, RMI.Contains = %v", name, k, got, exp)
+		}
+	}
+	// Batched, unsorted probe order.
+	got := make([]int, len(probes))
+	p.LookupBatch(probes, got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: Plan.LookupBatch[%d] (key %d) = %d, want %d", name, i, probes[i], got[i], want[i])
+		}
+	}
+	gotB := make([]bool, len(probes))
+	p.ContainsBatch(probes, gotB)
+	for i := range gotB {
+		if exp := r.Contains(probes[i]); gotB[i] != exp {
+			t.Fatalf("%s: Plan.ContainsBatch[%d] (key %d) = %v, want %v", name, i, probes[i], gotB[i], exp)
+		}
+	}
+	// Batched, ascending probe order — against both the per-key oracle and
+	// the interpreted sorted-batch path.
+	sorted := append([]uint64(nil), probes...)
+	for i := 1; i < len(sorted); i++ { // insertion sort keeps the test dep-free
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	wantSorted := make([]int, len(sorted))
+	r.LookupBatchSorted(sorted, wantSorted)
+	gotSorted := make([]int, len(sorted))
+	p.LookupBatchSorted(sorted, gotSorted)
+	for i := range gotSorted {
+		if gotSorted[i] != wantSorted[i] {
+			t.Fatalf("%s: Plan.LookupBatchSorted[%d] (key %d) = %d, want %d", name, i, sorted[i], gotSorted[i], wantSorted[i])
+		}
+		if perKey := r.Lookup(sorted[i]); wantSorted[i] != perKey {
+			t.Fatalf("%s: RMI.LookupBatchSorted[%d] (key %d) = %d, per-key %d", name, i, sorted[i], wantSorted[i], perKey)
+		}
+	}
+}
+
+// TestPlanEquivalenceOracle is the compiled-read-path contract: for every
+// dataset in the test corpus and every SearchKind/TopKind, Plan.Lookup and
+// the batch executors return bit-identical results to RMI.Lookup —
+// including hybrid B-Tree leaves falling back correctly.
+func TestPlanEquivalenceOracle(t *testing.T) {
+	searches := []SearchKind{SearchModelBiased, SearchBinary, SearchQuaternary, SearchExponential}
+	tops := []struct {
+		name   string
+		kind   TopKind
+		hidden []int
+	}{
+		{"linear", TopLinear, nil},
+		{"multivariate", TopMultivariate, nil},
+		{"nn8", TopNN, []int{8}},
+	}
+	for dsName, keys := range allDatasets(20_000) {
+		probes := probesFor(keys)
+		for _, sk := range searches {
+			for _, top := range tops {
+				cfg := DefaultConfig(150)
+				cfg.Search = sk
+				cfg.Top = top.kind
+				cfg.Hidden = top.hidden
+				r := New(keys, cfg)
+				assertPlanEquivalent(t, dsName+"/"+sk.String()+"/"+top.name, r, probes)
+			}
+		}
+	}
+}
+
+func TestPlanEquivalenceHybrid(t *testing.T) {
+	keys := data.Weblogs(20_000, 1)
+	probes := probesFor(keys)
+	for _, sk := range []SearchKind{SearchModelBiased, SearchBinary, SearchQuaternary, SearchExponential} {
+		cfg := DefaultConfig(60)
+		cfg.Search = sk
+		cfg.HybridThreshold = 24
+		r := New(keys, cfg)
+		if r.NumHybrid() == 0 {
+			t.Fatalf("hybrid case built no B-Tree leaves; tighten the threshold")
+		}
+		assertPlanEquivalent(t, "hybrid/"+sk.String(), r, probes)
+	}
+}
+
+func TestPlanEquivalenceMultiStage(t *testing.T) {
+	keys := data.Lognormal(25_000, 0, 2, 1_000_000_000, 1)
+	cfg := DefaultConfig(0)
+	cfg.StageSizes = []int{8, 80, 800}
+	r := New(keys, cfg)
+	assertPlanEquivalent(t, "3-stage", r, probesFor(keys))
+}
+
+func TestPlanEquivalenceDecoded(t *testing.T) {
+	// A deserialized index must carry a working compiled plan (the
+	// "fast on first read" contract of the storage engine).
+	keys := data.LognormalPaper(15_000, 3)
+	cfg := Config{Top: TopMultivariate, StageSizes: []int{120}, Search: SearchQuaternary, HybridThreshold: 64, Seed: 1}
+	r := New(keys, cfg)
+	enc, err := r.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRMI(enc, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPlanEquivalent(t, "decoded", dec, probesFor(keys))
+}
+
+func TestPlanEmptyAndTiny(t *testing.T) {
+	empty := New(nil, DefaultConfig(4))
+	p := empty.Plan()
+	if p.Lookup(7) != 0 || p.Contains(7) {
+		t.Fatal("empty plan lookup")
+	}
+	out := make([]int, 3)
+	p.LookupBatch([]uint64{1, 2, 3}, out)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("empty plan batch")
+		}
+	}
+	outB := make([]bool, 3)
+	p.ContainsBatch([]uint64{1, 2, 3}, outB)
+	for _, v := range outB {
+		if v {
+			t.Fatal("empty plan contains-batch")
+		}
+	}
+	for _, ks := range [][]uint64{{9}, {3, 7}, {1, 2, 3, 4, 5}} {
+		r := New(append([]uint64(nil), ks...), DefaultConfig(4))
+		probes := []uint64{0, 1, 3, 5, 7, 9, 10, ^uint64(0)}
+		assertPlanEquivalent(t, "tiny", r, probes)
+	}
+}
+
+// TestPlanQuickRandom mirrors the interpreted quick-check: random probes on
+// a random key set agree between plan and RMI (and thus the oracle).
+func TestPlanQuickRandom(t *testing.T) {
+	keys := data.Lognormal(10_000, 0, 2, 1_000_000_000, 5)
+	r := New(keys, DefaultConfig(64))
+	p := r.Plan()
+	rng := rand.New(rand.NewSource(77))
+	batch := make([]uint64, 257) // non-multiple of the group size
+	for i := range batch {
+		batch[i] = rng.Uint64()
+	}
+	out := make([]int, len(batch))
+	p.LookupBatch(batch, out)
+	for i, k := range batch {
+		if want := r.Lookup(k); out[i] != want {
+			t.Fatalf("random batch: Plan[%d](%d) = %d, want %d", i, k, out[i], want)
+		}
+	}
+}

@@ -193,6 +193,13 @@ type RMI struct {
 	stages [][]linmod // inner stages (all StageSizes entries but the last)
 	leaves []leaf
 	nf     float64 // float64(len(keys))
+	// routeMul[s] is the precomputed ⌊M·f(x)/N⌋ routing multiplier
+	// float64(StageSizes[s])/nf, hoisted so neither training's stage loop
+	// nor the interpreted lookup path divides per routed key.
+	routeMul []float64
+	// plan is the compiled read path (see plan.go), built once after
+	// training or decoding.
+	plan *Plan
 	// global error stats for reporting
 	meanAbsErr float64
 	maxAbsErr  int
@@ -219,11 +226,25 @@ func New(keys []uint64, cfg Config) *RMI {
 	if len(keys) == 0 {
 		r.top = ml.Linear{}
 		r.leaves = make([]leaf, 1)
+		r.plan = r.compile()
 		return r
 	}
+	r.initRouteMul()
 	r.trainTop()
 	r.trainStages()
+	r.plan = r.compile()
 	return r
+}
+
+// initRouteMul precomputes the per-stage routing multipliers from cfg and
+// the key count. Must run before any routeTo call.
+func (r *RMI) initRouteMul() {
+	r.routeMul = make([]float64, len(r.cfg.StageSizes))
+	for s, size := range r.cfg.StageSizes {
+		if r.nf > 0 {
+			r.routeMul[s] = float64(size) / r.nf
+		}
+	}
 }
 
 func defaultLeafCount(n int) int {
@@ -271,18 +292,25 @@ func (r *RMI) trainTop() {
 // stage `stage` for key x. Stages before `stage` must already be fit.
 func (r *RMI) routeTo(x float64, stage int) int {
 	p := r.top.Predict(x)
-	idx := scaleToIndex(p, r.nf, r.cfg.StageSizes[0])
+	idx := scaleByMul(p, r.routeMul[0], r.cfg.StageSizes[0])
 	for s := 1; s <= stage; s++ {
 		p = r.stages[s-1][idx].predict(x)
-		idx = scaleToIndex(p, r.nf, r.cfg.StageSizes[s])
+		idx = scaleByMul(p, r.routeMul[s], r.cfg.StageSizes[s])
 	}
 	return idx
 }
 
 // scaleToIndex converts a position estimate p over [0, n) to a model index
-// in [0, size): the ⌊M·f(x)/N⌋ routing of §3.2.
+// in [0, size): the ⌊M·f(x)/N⌋ routing of §3.2. Hot paths precompute
+// size/n and call scaleByMul instead of dividing per key.
 func scaleToIndex(p, n float64, size int) int {
-	i := int(p * float64(size) / n)
+	return scaleByMul(p, float64(size)/n, size)
+}
+
+// scaleByMul is scaleToIndex with the size/n ratio already computed: one
+// multiply plus the clamp.
+func scaleByMul(p, mul float64, size int) int {
+	i := int(p * mul)
 	if i < 0 {
 		return 0
 	}
@@ -592,12 +620,18 @@ func (r *RMI) lookupHybrid(key uint64, lf *leaf) int {
 // correct and re-searches with expansion when it sits incorrectly on the
 // window boundary (the §3.4 non-monotonic-model remedy).
 func (r *RMI) verifyOrExpand(key uint64, pos, lo, hi int) int {
-	n := len(r.keys)
-	if pos == lo && lo > 0 && r.keys[lo-1] >= key {
-		return search.BoundedWithExpansion(r.keys, key, 0, lo+1)
+	return verifyOrExpandIn(r.keys, key, pos, lo, hi)
+}
+
+// verifyOrExpandIn is verifyOrExpand over an explicit key array, shared
+// with the compiled read path (plan.go).
+func verifyOrExpandIn(keys []uint64, key uint64, pos, lo, hi int) int {
+	n := len(keys)
+	if pos == lo && lo > 0 && keys[lo-1] >= key {
+		return search.BoundedWithExpansion(keys, key, 0, lo+1)
 	}
 	if pos == hi && hi < n {
-		return search.BoundedWithExpansion(r.keys, key, hi-1, n)
+		return search.BoundedWithExpansion(keys, key, hi-1, n)
 	}
 	return pos
 }
@@ -616,6 +650,11 @@ func (r *RMI) RangeScan(loKey, hiKey uint64) (start, end int) {
 
 // Keys returns the indexed array.
 func (r *RMI) Keys() []uint64 { return r.keys }
+
+// Plan returns the compiled read path: the flat inference plan built from
+// this index at training (or decode) time. Bit-identical results to Lookup
+// at a fraction of the dispatch cost; see plan.go.
+func (r *RMI) Plan() *Plan { return r.plan }
 
 // NumLeaves returns the last-stage model count.
 func (r *RMI) NumLeaves() int { return len(r.leaves) }

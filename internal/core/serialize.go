@@ -233,5 +233,11 @@ func DecodeRMI(enc []byte, keys []uint64) (*RMI, error) {
 	if rd.Err() != nil {
 		return nil, rd.Err()
 	}
+	// A decoded index serves reads immediately, so rebuild the hot-path
+	// state training would have produced: the per-stage routing multipliers
+	// and the compiled inference plan (plan.go). This is what makes a
+	// persisted index fast on first read — no retraining, no interpretation.
+	r.initRouteMul()
+	r.plan = r.compile()
 	return r, nil
 }

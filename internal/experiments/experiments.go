@@ -29,7 +29,12 @@ type Options struct {
 	// means the OS temp directory. A unique subdirectory is created and
 	// removed per run either way.
 	Dir string
-	Out io.Writer
+	// JSONDir, when non-empty, makes experiments additionally write their
+	// results as machine-readable BENCH_<experiment>.json files there
+	// (ns/op, bytes, maxErr per config), so the repo's perf trajectory is
+	// diffable across PRs.
+	JSONDir string
+	Out     io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +90,22 @@ func render(o Options, t *bench.Table) {
 		return
 	}
 	t.Render(o.Out)
+}
+
+// emitJSON writes rep to Options.JSONDir (when set) and logs the path.
+func emitJSON(o Options, rep *bench.Report) {
+	if o.JSONDir == "" {
+		return
+	}
+	path, err := rep.WriteJSON(o.JSONDir)
+	if o.Out == nil {
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(o.Out, "bench json: %v\n", err)
+		return
+	}
+	fmt.Fprintf(o.Out, "wrote %s\n", path)
 }
 
 // dsCache memoizes generated datasets per (kind, n, seed) — dense lognormal

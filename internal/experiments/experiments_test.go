@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -231,6 +233,53 @@ func TestStorageShapeHolds(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "0 retrains") {
 		t.Fatal("cold-open summary not rendered")
+	}
+}
+
+func TestCompiledShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	o.JSONDir = t.TempDir()
+	rows := Compiled(o)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerKey <= 0 || r.SpeedUp <= 0 {
+			t.Errorf("%s: no measurement (%v, %.2fx)", r.Config, r.PerKey, r.SpeedUp)
+		}
+		if r.IdxBytes == 0 {
+			t.Errorf("%s: no index size", r.Config)
+		}
+	}
+	if !strings.Contains(buf.String(), "Compiled vs interpreted") {
+		t.Fatal("table not rendered")
+	}
+	data, err := os.ReadFile(filepath.Join(o.JSONDir, "BENCH_compiled.json"))
+	if err != nil || !strings.Contains(string(data), "\"ns_per_op\"") {
+		t.Fatalf("machine-readable report missing: %v", err)
+	}
+}
+
+func TestSearchShootoutShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	o.JSONDir = t.TempDir()
+	rows := SearchShootout(o)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerProbe <= 0 {
+			t.Errorf("%s: no measurement", r.Strategy)
+		}
+	}
+	if rows[0].Strategy != "binary" || rows[0].SpeedUp != 1 {
+		t.Fatalf("binary must be the 1.00x baseline, got %+v", rows[0])
+	}
+	if !strings.Contains(buf.String(), "Search shootout") {
+		t.Fatal("table not rendered")
+	}
+	if _, err := os.Stat(filepath.Join(o.JSONDir, "BENCH_searchshootout.json")); err != nil {
+		t.Fatalf("machine-readable report missing: %v", err)
 	}
 }
 

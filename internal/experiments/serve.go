@@ -69,6 +69,16 @@ func Serve(o Options) []ServeRow {
 	if o.Out != nil && runtime.GOMAXPROCS(0) == 1 {
 		fmt.Fprintln(o.Out, "note: GOMAXPROCS=1 — goroutine rows cannot show parallel speedup on this host; run on a multi-core machine to see the concurrency axis.")
 	}
+	rep := &bench.Report{Experiment: "serve", N: o.N, Probes: o.Probes}
+	rep.Add(bench.ReportRow{Config: "single-thread per-key RMI", NsPerOp: float64(perLookup.Nanoseconds())})
+	for _, r := range rows {
+		rep.Add(bench.ReportRow{
+			Config:  fmt.Sprintf("shards=%d goroutines=%d batch=%d", r.Shards, r.Goroutines, r.BatchSize),
+			NsPerOp: 1e3 / r.MLookupsPS,
+			Extra:   map[string]float64{"speedup_vs_single": r.SpeedUp, "mlookups_per_sec": r.MLookupsPS},
+		})
+	}
+	emitJSON(o, rep)
 	return rows
 }
 

@@ -210,6 +210,43 @@ func (m *Multivariate) Predict(x float64) float64 {
 // NumFeatures returns how many features survived selection.
 func (m *Multivariate) NumFeatures() int { return len(m.feats) }
 
+// StandardFeature evaluates entry fi of the standard feature menu at x —
+// the closure-free form of StandardFeatures()[fi](x) used by compiled
+// inference plans. Indexes outside the menu return 0.
+func StandardFeature(fi int, x float64) float64 {
+	switch fi {
+	case 0:
+		return x
+	case 1:
+		return math.Log1p(math.Abs(x))
+	case 2:
+		return x * x
+	case 3:
+		return math.Sqrt(math.Abs(x))
+	}
+	return 0
+}
+
+// Folded returns the model collapsed to y = bias + Σ coefs[i] ·
+// StandardFeature(featIdx[i], x): the per-feature standardization (mean,
+// invStd) is folded into the coefficients so a compiled caller pays one
+// multiply-add per surviving feature and no closure calls. ok is false for
+// models fit over a custom feature menu, whose closures cannot be indexed.
+func (m *Multivariate) Folded() (bias float64, featIdx []int, coefs []float64, ok bool) {
+	if !m.stdMenu {
+		return 0, nil, nil, false
+	}
+	bias = m.weights[0]
+	featIdx = append([]int(nil), m.featIdx...)
+	coefs = make([]float64, len(m.featIdx))
+	for j := range m.featIdx {
+		c := m.weights[j+1] * m.invStd[j]
+		coefs[j] = c
+		bias -= c * m.mean[j]
+	}
+	return bias, featIdx, coefs, true
+}
+
 // SizeBytes returns the parameter footprint: weights plus per-feature
 // standardization constants.
 func (m *Multivariate) SizeBytes() int {

@@ -1,0 +1,110 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBranchlessIdenticalToBinary is the defining contract: Branchless and
+// Binary return the same position on every (keys, target, window) input,
+// windows included.
+func TestBranchlessIdenticalToBinary(t *testing.T) {
+	keys := sortedKeys(5000, 21)
+	rng := rand.New(rand.NewSource(22))
+	for _, target := range probeSet(keys, 21) {
+		if got, want := Branchless(keys, target, 0, len(keys)), Binary(keys, target, 0, len(keys)); got != want {
+			t.Fatalf("Branchless(%d) = %d, Binary = %d", target, got, want)
+		}
+		for i := 0; i < 4; i++ {
+			lo := rng.Intn(len(keys) + 1)
+			hi := lo + rng.Intn(len(keys)+1-lo)
+			if got, want := Branchless(keys, target, lo, hi), Binary(keys, target, lo, hi); got != want {
+				t.Fatalf("Branchless(%d, [%d,%d)) = %d, Binary = %d", target, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestBranchlessEmptyAndSingle(t *testing.T) {
+	if Branchless(nil, 5, 0, 0) != 0 {
+		t.Fatal("empty branchless")
+	}
+	one := []uint64{42}
+	for _, target := range []uint64{0, 42, 100} {
+		if got, want := Branchless(one, target, 0, 1), Binary(one, target, 0, 1); got != want {
+			t.Fatalf("Branchless single(%d): got %d want %d", target, got, want)
+		}
+	}
+	// Empty window inside a non-empty array.
+	keys := []uint64{1, 3, 5}
+	for lo := 0; lo <= 3; lo++ {
+		if got := Branchless(keys, 4, lo, lo); got != lo {
+			t.Fatalf("empty window at %d: got %d", lo, got)
+		}
+	}
+}
+
+func TestBranchlessDuplicateRuns(t *testing.T) {
+	keys := []uint64{1, 5, 5, 5, 9, 9, 12}
+	if got := Branchless(keys, 5, 0, len(keys)); got != 1 {
+		t.Fatalf("lower bound of 5 = %d, want 1", got)
+	}
+	if got := Branchless(keys, 9, 0, len(keys)); got != 4 {
+		t.Fatalf("lower bound of 9 = %d, want 4", got)
+	}
+}
+
+func TestQuickBranchlessVariantsAgree(t *testing.T) {
+	f := func(raw []uint64, target uint64, predSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := 1; i < len(raw); i++ {
+			for j := i; j > 0 && raw[j] < raw[j-1]; j-- {
+				raw[j], raw[j-1] = raw[j-1], raw[j]
+			}
+		}
+		want := refLowerBound(raw, target)
+		pred := int(predSeed) % len(raw)
+		return Branchless(raw, target, 0, len(raw)) == want &&
+			ModelBiasedBranchless(raw, target, 0, len(raw), pred) == want &&
+			BranchlessWithExpansion(raw, target, pred, pred+1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBranchless(b *testing.B) {
+	keys := sortedKeys(1_000_000, 1)
+	probes := probeSet(keys, 2)
+	b.ResetTimer()
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += Branchless(keys, probes[i%len(probes)], 0, len(keys))
+	}
+	sink = s
+}
+
+// BenchmarkBranchlessWindow measures the regime the compiled plan runs in:
+// tiny model-error windows where a single mispredict would dominate.
+func BenchmarkBranchlessWindow(b *testing.B) {
+	keys := sortedKeys(1_000_000, 1)
+	b.Run("branchless", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			idx := i % (len(keys) - 64)
+			s += Branchless(keys, keys[idx+17], idx, idx+64)
+		}
+		sink = s
+	})
+	b.Run("binary", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			idx := i % (len(keys) - 64)
+			s += Binary(keys, keys[idx+17], idx, idx+64)
+		}
+		sink = s
+	})
+}

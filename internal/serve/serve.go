@@ -9,8 +9,9 @@
 // Keys are range-partitioned across N shards with boundaries picked from
 // the initial sorted key space, so every shard serves a contiguous key
 // range and a sorted probe batch decomposes into contiguous per-shard runs.
-// Each shard holds an immutable snapshot — its sorted key array plus the
-// RMI trained over it — behind an atomic.Pointer. Readers load the pointer
+// Each shard holds an immutable snapshot — its sorted key array, the RMI
+// trained over it, and the RMI's compiled inference plan (core.Plan),
+// which every read on the snapshot executes — behind an atomic.Pointer. Readers load the pointer
 // and never take a lock. Inserts append to a small per-shard buffer under a
 // mutex; when the buffer passes the merge threshold, a background goroutine
 // drains it: sort, dedup against the snapshot, merge into a fresh key
@@ -92,10 +93,21 @@ type Options struct {
 }
 
 // snapshot is one shard's immutable published state. Nothing in it is ever
-// mutated after publication; replacement is by pointer swap.
+// mutated after publication; replacement is by pointer swap. plan is the
+// RMI's compiled read path, captured at swap-in so every read on the
+// snapshot executes the devirtualized flat plan instead of interpreting
+// the model tree.
 type snapshot struct {
 	keys []uint64
 	rmi  *core.RMI
+	plan *core.Plan
+}
+
+// newSnapshot publishes keys behind a freshly trained RMI plus its
+// compiled plan.
+func newSnapshot(keys []uint64, cfg core.Config) *snapshot {
+	rmi := core.New(keys, cfg)
+	return &snapshot{keys: keys, rmi: rmi, plan: rmi.Plan()}
 }
 
 type shard struct {
@@ -233,7 +245,7 @@ func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
 		}
 		part := sorted[lo:hi:hi]
 		sh := &shard{}
-		sh.snap.Store(&snapshot{keys: part, rmi: core.New(part, cfg)})
+		sh.snap.Store(newSnapshot(part, cfg))
 		s.shards[i] = sh
 		lo = hi
 	}
@@ -350,7 +362,7 @@ func (s *Store) drain(i int) {
 	if len(merged) == len(cur.keys) {
 		return // every buffered key was already present
 	}
-	sh.snap.Store(&snapshot{keys: merged, rmi: core.New(merged, s.cfg)})
+	sh.snap.Store(newSnapshot(merged, s.cfg))
 	s.merges.Add(1)
 }
 
@@ -421,7 +433,7 @@ func (s *Store) Lookup(key uint64) int {
 	for j := 0; j < i; j++ {
 		total += len(s.shards[j].snap.Load().keys)
 	}
-	return total + s.shards[i].snap.Load().rmi.Lookup(key)
+	return total + s.shards[i].snap.Load().plan.Lookup(key)
 }
 
 // Contains reports whether key is committed. On a persistent Store each
@@ -431,7 +443,7 @@ func (s *Store) Contains(key uint64) bool {
 	if s.eng != nil {
 		return s.eng.Contains(key)
 	}
-	return s.shards[s.shardFor(key)].snap.Load().rmi.Contains(key)
+	return s.shards[s.shardFor(key)].snap.Load().plan.Contains(key)
 }
 
 // Len returns the number of distinct committed keys.
@@ -491,9 +503,10 @@ func (s *Store) StorageStats() (storage.Stats, bool) {
 // LookupBatch answers Lookup for every probe, in probe order, against one
 // consistent captured view. The batch is sorted once; contiguous runs of
 // sorted probes route to their shard with a single boundary search per run,
-// and within a run the RMI amortizes stage routing across adjacent keys
-// (core.RMI.LookupBatchSorted) — the model prunes each probe's search range
-// before any key is touched.
+// and within a run the compiled plan executes the group-interleaved batch
+// pipeline (core.Plan.LookupBatchSorted) — the model prunes each probe's
+// search range before any key is touched, and the group keeps its search
+// misses overlapped.
 func (s *Store) LookupBatch(probes []uint64) []int {
 	out := make([]int, len(probes))
 	if len(probes) == 0 {
@@ -588,7 +601,7 @@ func (s *Store) batchPositions(probes []uint64, sc *batchScratch) (v view, skeys
 		if si < len(s.bounds) {
 			end = search.Binary(skeys, s.bounds[si], start, n)
 		}
-		v.snaps[si].rmi.LookupBatchSorted(skeys[start:end], pos[start:end])
+		v.snaps[si].plan.LookupBatchSorted(skeys[start:end], pos[start:end])
 		for j := start; j < end; j++ {
 			pos[j] += v.offs[si]
 		}

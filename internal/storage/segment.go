@@ -40,8 +40,13 @@ type segment struct {
 	path         string
 	keys         []uint64
 	rmi          *core.RMI
-	filter       *bloom.Filter
-	diskBytes    int64
+	// plan is rmi's compiled read path, captured when the segment is
+	// written or opened so cold-start reads execute the flat plan — the
+	// multi-segment read pipeline is fence check → Bloom filter → plan,
+	// pruning before any model runs.
+	plan      *core.Plan
+	filter    *bloom.Filter
+	diskBytes int64
 }
 
 func (s *segment) minKey() uint64 { return s.keys[0] }
@@ -161,7 +166,7 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 	}
 	return &segment{
 		seqLo: seqLo, seqHi: seqHi, path: final,
-		keys: keys, rmi: rmi, filter: filter, diskBytes: int64(len(img)),
+		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter, diskBytes: int64(len(img)),
 	}, nil
 }
 
@@ -177,7 +182,7 @@ func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
 	}
 	return &segment{
 		seqLo: seqLo, seqHi: seqHi, path: path,
-		keys: keys, rmi: rmi, filter: filter, diskBytes: int64(len(data)),
+		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter, diskBytes: int64(len(data)),
 	}, nil
 }
 

@@ -435,7 +435,7 @@ func containsIn(segs []*segment, key uint64) bool {
 		if !s.filter.MayContainUint64(key) {
 			continue
 		}
-		if s.rmi.Contains(key) {
+		if s.plan.Contains(key) {
 			return true
 		}
 	}
@@ -472,7 +472,7 @@ func (e *Engine) Lookup(key uint64) int {
 		case key > s.maxKey():
 			total += len(s.keys)
 		default:
-			total += s.rmi.Lookup(key)
+			total += s.plan.Lookup(key)
 		}
 	}
 	return total
@@ -506,7 +506,7 @@ func (e *Engine) LookupBatchSorted(probes []uint64, out []int) {
 		lo := sort.Search(len(probes), func(i int) bool { return probes[i] > s.minKey() })
 		hi := sort.Search(len(probes), func(i int) bool { return probes[i] > s.maxKey() })
 		if lo < hi {
-			s.rmi.LookupBatchSorted(probes[lo:hi], tmp[lo:hi])
+			s.plan.LookupBatchSorted(probes[lo:hi], tmp[lo:hi])
 			for i := lo; i < hi; i++ {
 				out[i] += tmp[i]
 			}

@@ -27,6 +27,12 @@ type (
 	// models that predicts a key's position with per-leaf min/max error
 	// bounds, corrected by a local search.
 	RMI = core.RMI
+	// Plan is the compiled read path: the RMI's model tree lowered into a
+	// flat, devirtualized inference plan with group-interleaved batch
+	// executors. Built automatically by New and on deserialization;
+	// retrieve it with RMI.Plan(). Results are bit-identical to the
+	// interpreted RMI methods.
+	Plan = core.Plan
 	// Config specifies an RMI: stage-1 model family, stage sizes, search
 	// strategy and hybrid threshold (Algorithm 1's inputs).
 	Config = core.Config
