@@ -110,6 +110,52 @@ func TestPublicAPIGridSearch(t *testing.T) {
 	}
 }
 
+func TestPublicAPIParallelTraining(t *testing.T) {
+	keys := sortedKeys(80_000)
+	seq := learnedindex.NewWithTrainWorkers(keys, learnedindex.DefaultConfig(400), 1)
+	par := learnedindex.NewWithTrainWorkers(keys, learnedindex.DefaultConfig(400), 4)
+	for _, k := range []uint64{0, keys[0], keys[40_000], keys[79_999], keys[79_999] + 1} {
+		if a, b := seq.Lookup(k), par.Lookup(k); a != b {
+			t.Fatalf("Lookup(%d): sequential %d, parallel %d", k, a, b)
+		}
+	}
+	if seq.MaxAbsErr() != par.MaxAbsErr() {
+		t.Fatal("trainers disagree on error stats")
+	}
+}
+
+func TestPublicAPIInsertDurable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := learnedindex.OpenStore(nil, learnedindex.Config{},
+		learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sortedKeys(2_000)
+	if err := st.InsertDurable(keys...); err != nil {
+		t.Fatal(err)
+	}
+	st.Flush()
+	if !st.Contains(keys[500]) {
+		t.Fatal("durable insert not served after flush")
+	}
+	stats, ok := st.StorageStats()
+	if !ok || stats.Commits == 0 || stats.WALSyncs == 0 {
+		t.Fatalf("commit plane not recorded: %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := learnedindex.OpenStore(nil, learnedindex.Config{}, learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(keys) {
+		t.Fatalf("Len=%d after reopen, want %d", re.Len(), len(keys))
+	}
+}
+
 func TestPublicAPIStore(t *testing.T) {
 	keys := sortedKeys(50_000)
 	st := learnedindex.NewStore(keys, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 8})

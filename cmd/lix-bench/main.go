@@ -6,16 +6,20 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, all (everything except the GRU-training path of
-// figure10; add -gru to include it). serve, storage, compiled, and
-// searchshootout are this repo's extensions beyond the paper: serve is
+// searchshootout, writepath, all (everything except the GRU-training path
+// of figure10; add -gru to include it). serve, storage, compiled,
+// searchshootout, and writepath are this repo's extensions beyond the
+// paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
 // on-disk lookup throughput, and cold-open latency vs the in-memory RMI
 // (-dir controls where its segment files are written); compiled is the
 // devirtualized flat read path (core.Plan) vs the interpreted model tree;
 // searchshootout races the §3.4 last-mile strategies plus branchless
-// lower-bound search on identical precomputed windows.
+// lower-bound search on identical precomputed windows; writepath is the
+// multi-core write plane — group-commit WAL throughput vs concurrent
+// committers, parallel-training wall time vs worker count, and the
+// concurrent-merge flush barrier.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -55,7 +59,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|all>...")
 		os.Exit(2)
 	}
 	for _, exp := range args {
@@ -94,8 +98,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.Compiled(opts)
 	case "searchshootout":
 		experiments.SearchShootout(opts)
+	case "writepath":
+		experiments.WritePath(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath"} {
 			run(e, opts, gru)
 		}
 		return

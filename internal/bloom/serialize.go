@@ -11,9 +11,21 @@ import (
 // persistent storage engine so a cold open can answer negative lookups
 // without touching the key block (§5's existence-index role, applied as
 // per-segment read pruning).
+//
+// Layout versioning is backward-compatible: a legacy (standard-layout)
+// filter's first varint is m, which NewWithSize and Decode both pin to
+// >= 64 — so the small value blockedFormatTag can never be a legacy m and
+// safely marks the register-blocked layout (tag, then m, k, n, words).
+// Old segment files keep decoding as standard filters bit-for-bit.
+
+// blockedFormatTag introduces a register-blocked filter encoding.
+const blockedFormatTag = 1
 
 // AppendBinary appends the filter's encoding to b.
 func (f *Filter) AppendBinary(b []byte) []byte {
+	if f.blocked {
+		b = binenc.AppendUvarint(b, blockedFormatTag)
+	}
 	b = binenc.AppendUvarint(b, f.m)
 	b = binenc.AppendUvarint(b, uint64(f.k))
 	b = binenc.AppendUvarint(b, uint64(f.n))
@@ -27,6 +39,11 @@ func (f *Filter) AppendBinary(b []byte) []byte {
 // exactly; corrupt input yields an error, never a panic.
 func Decode(r *binenc.Reader) (*Filter, error) {
 	m := r.Uvarint()
+	blocked := false
+	if m == blockedFormatTag {
+		blocked = true
+		m = r.Uvarint()
+	}
 	k := r.Uvarint()
 	n := r.Uvarint()
 	if r.Err() != nil {
@@ -40,11 +57,16 @@ func Decode(r *binenc.Reader) (*Filter, error) {
 	if m < 64 || m > 1<<48 || k < 1 || k > 1<<16 || n > 1<<40 {
 		return nil, binenc.ErrCorrupt
 	}
+	// A blocked filter's probe math requires whole cache-line blocks and
+	// the 9-bit-lane k cap; anything else would index past the block.
+	if blocked && (m%blockBits != 0 || k > maxBlockedK) {
+		return nil, binenc.ErrCorrupt
+	}
 	words := int((m + 63) / 64)
 	if r.Remaining() < words*8 {
 		return nil, binenc.ErrCorrupt
 	}
-	f := &Filter{bits: make([]uint64, words), m: m, k: int(k), n: int(n)}
+	f := &Filter{bits: make([]uint64, words), m: m, k: int(k), n: int(n), blocked: blocked}
 	for i := range f.bits {
 		f.bits[i] = r.U64()
 	}

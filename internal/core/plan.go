@@ -195,26 +195,41 @@ func (r *RMI) compile() *Plan {
 		}
 	}
 
-	// Leaves: one packed record per leaf, raw coefficients.
+	// Leaves: one packed record per leaf, raw coefficients. Packing is
+	// element-wise and order-free, so large leaf arrays are chunked across
+	// the training worker pool (a retrain's compile rides the same cores
+	// as its fit passes); the hybrid table is sized up front to keep the
+	// parallel writers allocation-free.
 	nl := len(r.leaves)
 	p.leaves = make([]planLeaf, nl)
 	for j := range r.leaves {
-		lf := &r.leaves[j]
-		p.leaves[j] = planLeaf{
-			a: lf.m.a, b: lf.m.b,
-			minErr: lf.minErr, maxErr: lf.maxErr,
-			sigma: int32(lf.stdErr),
-		}
-		if lf.btPos != nil {
-			if p.hybrid == nil {
-				p.hybrid = make([]*leaf, nl)
-			}
-			p.hybrid[j] = lf
-			p.leaves[j].flags = leafHybrid
+		if r.leaves[j].btPos != nil {
+			p.hybrid = make([]*leaf, nl)
+			break
 		}
 	}
+	parallelChunks(nl, trainingWorkers(nl/compileLeafCost), func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			lf := &r.leaves[j]
+			p.leaves[j] = planLeaf{
+				a: lf.m.a, b: lf.m.b,
+				minErr: lf.minErr, maxErr: lf.maxErr,
+				sigma: int32(lf.stdErr),
+			}
+			if lf.btPos != nil {
+				p.hybrid[j] = lf
+				p.leaves[j].flags = leafHybrid
+			}
+		}
+	})
 	return p
 }
+
+// compileLeafCost discounts a packed-leaf record against one training key
+// when sizing compile's worker count: packing is ~16x cheaper per element
+// than a fit-pass key, so only very large leaf arrays (~1M records at the
+// trainer's 64k-key cutoff) are worth the goroutine fan-out.
+const compileLeafCost = 16
 
 // route runs the devirtualized model hierarchy for x and returns the leaf
 // index: one FMA + clamp per stage, no divides, no interface calls on the

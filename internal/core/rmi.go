@@ -210,7 +210,22 @@ type RMI struct {
 // following Algorithm 1: train the top model, partition keys through the
 // stages, fit each stage's models on the keys routed to them, and compute
 // per-leaf min/max errors (optionally swapping bad leaves for B-Trees).
+// Stage training runs on a bounded worker pool sized to GOMAXPROCS (see
+// train_parallel.go); results are bit-identical to the sequential trainer.
 func New(keys []uint64, cfg Config) *RMI {
+	return NewWithTrainWorkers(keys, cfg, trainingWorkers(len(keys)))
+}
+
+// NewWithTrainWorkers trains like New with an explicit stage-training
+// worker count: 1 selects the sequential trainer, higher counts the
+// parallel one. Serialized results are bit-identical for every count (the
+// parallel trainer preserves per-model accumulation order — pinned by
+// TestParallelTrainerBitIdentical), so the knob only trades wall-clock
+// for cores; it exists for train-scaling benchmarks and tuning.
+func NewWithTrainWorkers(keys []uint64, cfg Config, workers int) *RMI {
+	if workers < 1 {
+		workers = 1
+	}
 	if len(cfg.StageSizes) == 0 {
 		cfg.StageSizes = []int{defaultLeafCount(len(keys))}
 	}
@@ -231,7 +246,11 @@ func New(keys []uint64, cfg Config) *RMI {
 	}
 	r.initRouteMul()
 	r.trainTop()
-	r.trainStages()
+	if workers > 1 {
+		r.trainStagesParallel(workers)
+	} else {
+		r.trainStages()
+	}
 	r.plan = r.compile()
 	return r
 }
@@ -374,49 +393,45 @@ func repairEmpty(models []linmod, accs []regAcc) {
 	}
 }
 
-// computeLeafErrors executes the leaf model for every key and stores "the
-// worst over- and under-prediction per last-stage model" (§3.4) plus the
-// standard error used by biased quaternary search.
-func (r *RMI) computeLeafErrors(route []int32) {
-	type e struct {
-		min, max   int
-		sum, sumsq float64
-		n          int
-	}
-	errs := make([]e, len(r.leaves))
+// leafErrAcc accumulates one leaf's error statistics: worst over/under
+// prediction, the moments behind the standard error, and the assigned-key
+// count. Shared by the sequential and parallel error passes, which both
+// feed each leaf's accumulator in ascending key order so the
+// floating-point sums are bit-identical between trainers.
+type leafErrAcc struct {
+	min, max   int
+	sum, sumsq float64
+	n          int
+}
+
+func newLeafErrAccs(n int) []leafErrAcc {
+	errs := make([]leafErrAcc, n)
 	for i := range errs {
 		errs[i].min = math.MaxInt32
 		errs[i].max = math.MinInt32
 	}
-	var gsum float64
-	gmax := 0
-	for i, k := range r.keys {
-		j := route[i]
-		pred := int(r.leaves[j].m.predict(float64(k)))
-		// d is actual-minus-predicted, so the lookup window is
-		// [pred+minErr, pred+maxErr].
-		d := i - pred
-		ev := &errs[j]
-		if d < ev.min {
-			ev.min = d
-		}
-		if d > ev.max {
-			ev.max = d
-		}
-		fd := float64(d)
-		ev.sum += fd
-		ev.sumsq += fd * fd
-		ev.n++
-		if d < 0 {
-			d = -d
-		}
-		gsum += float64(d)
-		if d > gmax {
-			gmax = d
-		}
+	return errs
+}
+
+// add folds one key's error d = actual - predicted into the accumulator.
+func (ev *leafErrAcc) add(d int) {
+	if d < ev.min {
+		ev.min = d
 	}
-	for j := range r.leaves {
-		lf := &r.leaves[j]
+	if d > ev.max {
+		ev.max = d
+	}
+	fd := float64(d)
+	ev.sum += fd
+	ev.sumsq += fd * fd
+	ev.n++
+}
+
+// finalizeLeafErrors turns the accumulated moments into each leaf's stored
+// error window and standard error.
+func finalizeLeafErrors(leaves []leaf, errs []leafErrAcc) {
+	for j := range leaves {
+		lf := &leaves[j]
 		ev := &errs[j]
 		lf.n = int32(ev.n)
 		if ev.n == 0 {
@@ -432,6 +447,31 @@ func (r *RMI) computeLeafErrors(route []int32) {
 		}
 		lf.stdErr = float32(math.Sqrt(v))
 	}
+}
+
+// computeLeafErrors executes the leaf model for every key and stores "the
+// worst over- and under-prediction per last-stage model" (§3.4) plus the
+// standard error used by biased quaternary search.
+func (r *RMI) computeLeafErrors(route []int32) {
+	errs := newLeafErrAccs(len(r.leaves))
+	var gsum float64
+	gmax := 0
+	for i, k := range r.keys {
+		j := route[i]
+		pred := int(r.leaves[j].m.predict(float64(k)))
+		// d is actual-minus-predicted, so the lookup window is
+		// [pred+minErr, pred+maxErr].
+		d := i - pred
+		errs[j].add(d)
+		if d < 0 {
+			d = -d
+		}
+		gsum += float64(d)
+		if d > gmax {
+			gmax = d
+		}
+	}
+	finalizeLeafErrors(r.leaves, errs)
 	if len(r.keys) > 0 {
 		r.meanAbsErr = gsum / float64(len(r.keys))
 	}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel stage training. The paper's §3.6 observation is that RMI
+// training is "a couple of lines of code" and embarrassingly parallel
+// once stage-1 routing is known: every stage-2+ model is fit over a
+// disjoint key subset. This file exploits that on a bounded worker pool
+// (GOMAXPROCS) while keeping the result *bit-identical* to the
+// sequential trainer in rmi.go — not just equivalent: the serialized
+// bytes match (pinned by TestParallelTrainerBitIdentical and the golden
+// hash), so the parallel path can never drift behind the sequential one.
+//
+// Determinism comes from preserving accumulation order, not from luck:
+//
+//   - The routing pass writes route[i] — pure integer results of the
+//     already-trained prefix — and parallelizes over key chunks.
+//   - The fit pass parallelizes over *model ranges*: each worker scans
+//     the route array front to back and folds only its own models'
+//     keys, so every model's centered least-squares sums see exactly
+//     the key order the sequential loop would have produced.
+//   - The leaf error pass works the same way per leaf, and the global
+//     mean-absolute-error — the one sum the sequential loop interleaves
+//     across leaves — is reconstructed by a sequential fold over a
+//     per-key scratch array, reproducing the original addition order.
+
+const (
+	// parallelTrainMinKeys is the key count below which New always picks
+	// the sequential trainer — goroutine fan-out costs more than it saves.
+	parallelTrainMinKeys = 1 << 16
+	// trainKeysPerWorker floors the per-worker share so tiny stages do not
+	// shard across the whole machine.
+	trainKeysPerWorker = 1 << 14
+)
+
+// trainingWorkers picks the stage-training worker count for n keys: 1
+// (the sequential trainer) on single-CPU hosts or small inputs, otherwise
+// GOMAXPROCS clamped so every worker has a meaningful share.
+func trainingWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 || n < parallelTrainMinKeys {
+		return 1
+	}
+	if max := n / trainKeysPerWorker; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelChunks splits [0, n) into at most `workers` contiguous chunks
+// and runs fn on each concurrently, returning after all complete. With
+// workers <= 1 it degenerates to a direct call — the bounded pool is the
+// caller's GOMAXPROCS-derived worker count, not a global queue.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// trainStagesParallel is trainStages on a worker pool: per stage, a
+// parallel routing pass over key chunks, then a parallel fit pass over
+// model ranges. See the file comment for why the results are
+// bit-identical to the sequential trainer.
+func (r *RMI) trainStagesParallel(workers int) {
+	n := len(r.keys)
+	nStages := len(r.cfg.StageSizes)
+	route := make([]int32, n) // leaf routing, reused by the error pass
+
+	for s := 0; s < nStages; s++ {
+		size := r.cfg.StageSizes[s]
+
+		// Routing pass: pure reads of the trained prefix, so key chunks
+		// are independent. This is where the expensive per-key model
+		// execution (NN tops, multi-stage prefixes) lives.
+		parallelChunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				route[i] = int32(r.routeTo(float64(r.keys[i]), s))
+			}
+		})
+
+		// Fit pass: each worker owns a contiguous model range and folds
+		// its models' keys in ascending key order — the same order the
+		// sequential loop feeds each accumulator.
+		accs := make([]regAcc, size)
+		models := make([]linmod, size)
+		parallelChunks(size, workers, func(jlo, jhi int) {
+			lo32, hi32 := int32(jlo), int32(jhi)
+			for i := 0; i < n; i++ {
+				if j := route[i]; j >= lo32 && j < hi32 {
+					accs[j].add(float64(r.keys[i]), float64(i), int32(i))
+				}
+			}
+			for j := jlo; j < jhi; j++ {
+				models[j] = accs[j].fit()
+			}
+		})
+		repairEmpty(models, accs)
+
+		if s < nStages-1 {
+			r.stages = append(r.stages, models)
+			continue
+		}
+		r.leaves = make([]leaf, size)
+		for j := range r.leaves {
+			r.leaves[j].m = models[j]
+		}
+		r.computeLeafErrorsParallel(route, workers)
+		if r.cfg.HybridThreshold > 0 {
+			r.applyHybrid(route)
+		}
+	}
+}
+
+// computeLeafErrorsParallel is computeLeafErrors over model-range workers.
+// Per-leaf accumulators see their keys in ascending order (bit-identical
+// to sequential); the global mean absolute error is rebuilt by a
+// sequential fold over the per-key |d| scratch so its float64 additions
+// happen in the exact order of the sequential loop. The worst error is an
+// integer max — order-free — and combines across workers directly.
+func (r *RMI) computeLeafErrorsParallel(route []int32, workers int) {
+	n := len(r.keys)
+	errs := newLeafErrAccs(len(r.leaves))
+	absd := make([]float64, n) // |actual - predicted| per key, filled by exactly one worker each
+	nl := len(r.leaves)
+	gmaxes := make([]int, workers)
+	var widx int32
+	var widxMu sync.Mutex
+	parallelChunks(nl, workers, func(jlo, jhi int) {
+		widxMu.Lock()
+		w := widx
+		widx++
+		widxMu.Unlock()
+		gmax := 0
+		lo32, hi32 := int32(jlo), int32(jhi)
+		for i := 0; i < n; i++ {
+			j := route[i]
+			if j < lo32 || j >= hi32 {
+				continue
+			}
+			pred := int(r.leaves[j].m.predict(float64(r.keys[i])))
+			d := i - pred
+			errs[j].add(d)
+			if d < 0 {
+				d = -d
+			}
+			absd[i] = float64(d)
+			if d > gmax {
+				gmax = d
+			}
+		}
+		gmaxes[w] = gmax
+	})
+	finalizeLeafErrors(r.leaves, errs)
+
+	var gsum float64
+	for _, ad := range absd {
+		gsum += ad
+	}
+	gmax := 0
+	for _, g := range gmaxes {
+		if g > gmax {
+			gmax = g
+		}
+	}
+	if n > 0 {
+		r.meanAbsErr = gsum / float64(n)
+	}
+	r.maxAbsErr = gmax
+}

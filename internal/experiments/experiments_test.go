@@ -236,6 +236,47 @@ func TestStorageShapeHolds(t *testing.T) {
 	}
 }
 
+func TestWritePathShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := WritePath(o)
+	if len(rows) < 8 {
+		t.Fatalf("got %d rows, want >= 8", len(rows))
+	}
+	var commitRows, trainRows, mergeRows int
+	for _, r := range rows {
+		if r.Wall <= 0 || r.PerOpNs <= 0 {
+			t.Errorf("%s: no measurement", r.Name)
+		}
+		switch {
+		case strings.HasPrefix(r.Name, "commit/"):
+			commitRows++
+			// Every durable insert is covered by at least one fsync, and a
+			// cohort can never sync more often than once per commit.
+			if r.Fsyncs <= 0 {
+				t.Errorf("%s: no fsyncs recorded", r.Name)
+			}
+			if r.KeysPerFsync < 1 {
+				t.Errorf("%s: keys/fsync %.2f < 1", r.Name, r.KeysPerFsync)
+			}
+		case strings.HasPrefix(r.Name, "train/"):
+			trainRows++
+		case strings.HasPrefix(r.Name, "merge/"):
+			mergeRows++
+		}
+	}
+	if commitRows != 4 || trainRows < 3 || mergeRows != 1 {
+		t.Fatalf("row shape: %d commit, %d train, %d merge", commitRows, trainRows, mergeRows)
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("baseline speedup %.2f, want 1.0", rows[0].Speedup)
+	}
+	// No timing asserts here (1-vCPU CI): the measured >=3x group-commit
+	// claim lives in the checked-in BENCH_writepath.json.
+	if !strings.Contains(buf.String(), "Write path") {
+		t.Fatal("table not rendered")
+	}
+}
+
 func TestCompiledShapeHolds(t *testing.T) {
 	o, buf := tiny()
 	o.JSONDir = t.TempDir()

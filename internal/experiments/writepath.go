@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/serve"
+	"learnedindex/internal/storage"
+)
+
+// WritePathRow is one measured write-path configuration.
+type WritePathRow struct {
+	Name         string
+	Wall         time.Duration
+	PerOpNs      float64
+	Throughput   float64 // inserts (or keys) per second
+	Fsyncs       int
+	KeysPerFsync float64
+	Speedup      float64 // vs this phase's serial baseline
+}
+
+// WritePath measures the multi-core write path in three phases:
+//
+//  1. Group-commit WAL — N concurrent committers each durably inserting
+//     keys one Commit at a time. The 1-committer row is the
+//     one-fsync-per-Sync baseline; higher committer counts form commit
+//     cohorts whose keys share a single WAL frame and a single fsync, so
+//     synced-insert throughput rises with the cohort size while the
+//     fsync count collapses (the Fsyncs / KeysPerFsync columns).
+//  2. Parallel training — the same RMI trained with 1..GOMAXPROCS stage
+//     workers (results are bit-identical; only wall-clock moves). On a
+//     single-CPU host the rows document the overhead-free fallback.
+//  3. Merge stall — every shard of an in-memory serving Store loaded
+//     past its threshold, then Flush as the concurrent-drain barrier;
+//     the stall is the wall time until all shards republished, with
+//     drains running in parallel under the retrain semaphore.
+func WritePath(o Options) []WritePathRow {
+	o = o.withDefaults()
+	var rows []WritePathRow
+	rep := &bench.Report{Experiment: "writepath", N: o.N, Probes: o.Probes}
+
+	// Phase 1: group-commit throughput vs committer count.
+	commits := o.N / 500
+	if commits < 200 {
+		commits = 200
+	}
+	if commits > 4000 {
+		commits = 4000
+	}
+	var baseline float64
+	for _, c := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp(o.Dir, "lix-writepath-*")
+		if err != nil {
+			panic(fmt.Sprintf("writepath experiment: %v", err))
+		}
+		e, err := storage.Open(dir, storage.Options{NoCompactor: true})
+		if err != nil {
+			panic(fmt.Sprintf("writepath experiment: open: %v", err))
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < c; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				base := uint64(g) << 32
+				for i := g; i < commits; i += c {
+					if err := e.Commit(base + uint64(i)); err != nil {
+						panic(fmt.Sprintf("writepath experiment: commit: %v", err))
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		st := e.Stats()
+		e.Close()
+		os.RemoveAll(dir)
+
+		row := WritePathRow{
+			Name:       fmt.Sprintf("commit/committers=%d", c),
+			Wall:       wall,
+			PerOpNs:    float64(wall.Nanoseconds()) / float64(commits),
+			Throughput: float64(commits) / wall.Seconds(),
+			Fsyncs:     st.WALSyncs,
+		}
+		if st.WALSyncs > 0 {
+			row.KeysPerFsync = float64(commits) / float64(st.WALSyncs)
+		}
+		if c == 1 {
+			baseline = row.Throughput
+		}
+		if baseline > 0 {
+			row.Speedup = row.Throughput / baseline
+		}
+		rows = append(rows, row)
+		rep.Add(bench.ReportRow{
+			Config:  row.Name,
+			NsPerOp: row.PerOpNs,
+			Extra: map[string]float64{
+				"inserts_per_sec": row.Throughput,
+				"fsyncs":          float64(row.Fsyncs),
+				"keys_per_fsync":  row.KeysPerFsync,
+				"speedup_vs_c1":   row.Speedup,
+			},
+		})
+	}
+
+	// Phase 2: train time vs worker count (bit-identical results).
+	keys := cachedKeys("lognormal", o.N, o.Seed, func() data.Keys { return data.LognormalPaper(o.N, o.Seed) })
+	cfg := core.DefaultConfig(len(keys) / 2000)
+	workerSet := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerSet = append(workerSet, p)
+	}
+	var trainBase time.Duration
+	for _, w := range workerSet {
+		best := time.Duration(0)
+		for rd := 0; rd < o.Rounds; rd++ {
+			start := time.Now()
+			core.NewWithTrainWorkers(keys, cfg, w)
+			if el := time.Since(start); best == 0 || el < best {
+				best = el
+			}
+		}
+		if w == 1 {
+			trainBase = best
+		}
+		row := WritePathRow{
+			Name:       fmt.Sprintf("train/workers=%d", w),
+			Wall:       best,
+			PerOpNs:    float64(best.Nanoseconds()) / float64(len(keys)),
+			Throughput: float64(len(keys)) / best.Seconds(),
+			Speedup:    float64(trainBase) / float64(best),
+		}
+		rows = append(rows, row)
+		rep.Add(bench.ReportRow{
+			Config:  row.Name,
+			NsPerOp: row.PerOpNs,
+			Extra: map[string]float64{
+				"train_ms":      float64(best.Microseconds()) / 1000,
+				"keys_per_sec":  row.Throughput,
+				"speedup_vs_1w": row.Speedup,
+			},
+		})
+	}
+
+	// Phase 3: merge stall — Flush as the concurrent-drain barrier over
+	// fully loaded shards.
+	const nsh = 8
+	st := serve.New(keys[:o.N/2], core.Config{}, serve.Options{Shards: nsh, MergeThreshold: 1 << 30})
+	for _, k := range keys[o.N/2:] {
+		st.Insert(k)
+	}
+	start := time.Now()
+	st.Flush()
+	stall := time.Since(start)
+	merges := st.Merges()
+	st.Close()
+	row := WritePathRow{
+		Name:       fmt.Sprintf("merge/flush-barrier shards=%d", nsh),
+		Wall:       stall,
+		PerOpNs:    float64(stall.Nanoseconds()) / float64(o.N-o.N/2),
+		Throughput: float64(o.N-o.N/2) / stall.Seconds(),
+	}
+	rows = append(rows, row)
+	rep.Add(bench.ReportRow{
+		Config:  row.Name,
+		NsPerOp: row.PerOpNs,
+		Extra: map[string]float64{
+			"stall_ms":     float64(stall.Microseconds()) / 1000,
+			"shards":       nsh,
+			"merges":       float64(merges),
+			"keys_per_sec": row.Throughput,
+		},
+	})
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("Write path: group commit, parallel training, concurrent merges (%d keys, %d commits, GOMAXPROCS=%d)",
+			o.N, commits, runtime.GOMAXPROCS(0)),
+		Headers: []string{"Config", "Wall (ms)", "ns/op", "ops/s", "Fsyncs", "Keys/fsync", "Speedup"},
+	}
+	for _, r := range rows {
+		fsyncs, kpf := "-", "-"
+		if r.Fsyncs > 0 {
+			fsyncs = fmt.Sprintf("%d", r.Fsyncs)
+			kpf = fmt.Sprintf("%.1f", r.KeysPerFsync)
+		}
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		t.Add(r.Name,
+			fmt.Sprintf("%.1f", float64(r.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", r.PerOpNs),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fsyncs, kpf, speedup)
+	}
+	render(o, t)
+	emitJSON(o, rep)
+	return rows
+}

@@ -13,10 +13,14 @@
 // trained over it, and the RMI's compiled inference plan (core.Plan),
 // which every read on the snapshot executes — behind an atomic.Pointer. Readers load the pointer
 // and never take a lock. Inserts append to a small per-shard buffer under a
-// mutex; when the buffer passes the merge threshold, a background goroutine
-// drains it: sort, dedup against the snapshot, merge into a fresh key
-// array, retrain the RMI off the hot path, and atomically publish the new
-// snapshot (classic read-copy-update).
+// mutex; when the buffer passes the merge threshold, the background merger
+// dispatches a drain: sort, dedup against the snapshot, merge into a fresh
+// key array, retrain the RMI off the hot path, and atomically publish the
+// new snapshot (classic read-copy-update). Drains of *different* shards
+// run concurrently — per-shard merge state plus a retrain semaphore
+// bounded by GOMAXPROCS — and each retrain itself uses core's parallel
+// trainer, so a burst that fills many shards produces segments as fast as
+// the cores allow instead of queueing behind one serial merge loop.
 //
 // # Consistency model
 //
@@ -59,6 +63,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sort"
 	"sync"
@@ -66,6 +71,7 @@ import (
 
 	"learnedindex/internal/core"
 	"learnedindex/internal/search"
+	"learnedindex/internal/slicepool"
 	"learnedindex/internal/storage"
 )
 
@@ -104,9 +110,17 @@ type snapshot struct {
 }
 
 // newSnapshot publishes keys behind a freshly trained RMI plus its
-// compiled plan.
-func newSnapshot(keys []uint64, cfg core.Config) *snapshot {
-	rmi := core.New(keys, cfg)
+// compiled plan. workers is the training worker budget (0 lets the
+// trainer pick): drains pass their share of the machine so concurrent
+// shard retrains compose to ~GOMAXPROCS total workers instead of
+// multiplying into it.
+func newSnapshot(keys []uint64, cfg core.Config, workers int) *snapshot {
+	var rmi *core.RMI
+	if workers > 0 {
+		rmi = core.NewWithTrainWorkers(keys, cfg, workers)
+	} else {
+		rmi = core.New(keys, cfg)
+	}
 	return &snapshot{keys: keys, rmi: rmi, plan: rmi.Plan()}
 }
 
@@ -114,7 +128,12 @@ type shard struct {
 	snap atomic.Pointer[snapshot]
 	// mergeMu serializes drains so at most one retrain per shard runs at a
 	// time (background merger and Flush may race to drain the same shard).
+	// Different shards' drains run concurrently, bounded only by the
+	// store's retrain semaphore.
 	mergeMu sync.Mutex
+	// merging gates background drain dispatch: one in-flight background
+	// drain per shard, so a hot shard cannot pile up goroutines.
+	merging atomic.Bool
 	// mu protects buf, the unordered insert buffer.
 	mu  sync.Mutex
 	buf []uint64
@@ -132,6 +151,14 @@ type Store struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	merges  atomic.Int64
+	// retrainSem bounds concurrent shard retrains: independent shards
+	// drain in parallel (each retrain itself fans out over the parallel
+	// trainer's worker pool), but the semaphore keeps a wide Flush from
+	// oversubscribing the machine with len(shards) simultaneous trainings.
+	retrainSem chan struct{}
+	// drainWG tracks in-flight background shard drains so Close's shutdown
+	// barrier covers them.
+	drainWG sync.WaitGroup
 	// eng, when non-nil, is the disk engine of a persistent Store; the
 	// in-memory shard fields above are unused in that mode.
 	eng *storage.Engine
@@ -177,11 +204,12 @@ func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error)
 		return nil, err
 	}
 	s := &Store{
-		cfg:     cfg,
-		thresh:  thresh,
-		mergeCh: make(chan int, 1),
-		quit:    make(chan struct{}),
-		eng:     eng,
+		cfg:        cfg,
+		thresh:     thresh,
+		mergeCh:    make(chan int, 1),
+		quit:       make(chan struct{}),
+		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
+		eng:        eng,
 	}
 	if len(keys) > 0 {
 		if err := eng.Append(keys...); err != nil {
@@ -224,10 +252,11 @@ func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
 	}
 
 	s := &Store{
-		cfg:     cfg,
-		thresh:  thresh,
-		mergeCh: make(chan int, nsh),
-		quit:    make(chan struct{}),
+		cfg:        cfg,
+		thresh:     thresh,
+		mergeCh:    make(chan int, nsh),
+		quit:       make(chan struct{}),
+		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
 	}
 	n := len(sorted)
 	if n > 0 && nsh > 1 {
@@ -245,7 +274,9 @@ func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
 		}
 		part := sorted[lo:hi:hi]
 		sh := &shard{}
-		sh.snap.Store(newSnapshot(part, cfg))
+		// Initial shards train one at a time; the trainer's own worker
+		// pool is the parallelism here.
+		sh.snap.Store(newSnapshot(part, cfg, 0))
 		s.shards[i] = sh
 		lo = hi
 	}
@@ -281,6 +312,9 @@ func (s *Store) Insert(key uint64) {
 	i := s.shardFor(key)
 	sh := s.shards[i]
 	sh.mu.Lock()
+	if sh.buf == nil {
+		sh.buf = getShardBuf()
+	}
 	sh.buf = append(sh.buf, key)
 	full := len(sh.buf) >= s.thresh
 	sh.mu.Unlock()
@@ -292,34 +326,125 @@ func (s *Store) Insert(key uint64) {
 	}
 }
 
-// merger is the background goroutine: it drains whichever shard crossed
-// its threshold, and on shutdown drains everything so Close is a barrier.
-// On a persistent Store a drain is a flush: pending keys become one
-// segment file and the WAL is trimmed.
+// InsertDurable inserts keys and returns once they are crash-durable: on
+// a persistent Store the batch rides the engine's group-commit plane (a
+// cohort of concurrent InsertDurable callers shares one WAL frame and one
+// fsync), equivalent to Insert-per-key followed by Sync but without each
+// caller paying its own disk flush. Like Insert, the keys become readable
+// at the next drain or Flush. On an in-memory Store there is no
+// durability to wait for; the keys are simply inserted.
+func (s *Store) InsertDurable(keys ...uint64) error {
+	if s.eng == nil {
+		for _, k := range keys {
+			s.Insert(k)
+		}
+		return nil
+	}
+	if err := s.eng.CommitBatch(keys); err != nil {
+		return err
+	}
+	if s.eng.PendingLen() >= s.thresh {
+		select {
+		case s.mergeCh <- 0:
+		default:
+		}
+	}
+	return nil
+}
+
+// shardBufPool recycles drained insert buffers: a drain hands its buffer
+// back after the merge copies the survivors out, so sustained ingest
+// stops re-growing a fresh buffer per merge cycle.
+var shardBufPool slicepool.Pool[uint64]
+
+func getShardBuf() []uint64  { return shardBufPool.Get() }
+func putShardBuf(b []uint64) { shardBufPool.Put(b) }
+
+// maxConcurrentRetrains bounds simultaneous shard retrains per Store.
+// Oversubscription is prevented by the per-retrain worker budget
+// (retrainWorkers), not by this cap alone: admitted retrains × workers
+// per retrain composes to ~GOMAXPROCS CPU-bound goroutines.
+func maxConcurrentRetrains() int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// retrainWorkers is a drain's training worker budget: the machine's
+// cores split across the retrains that can run at once (shard count or
+// semaphore capacity, whichever is smaller), floored at 1. An 8-shard
+// store on 16 cores trains 8 concurrent drains x 2 workers; a 2-shard
+// store 2 x 8 — full utilization either way, never a multiplied stack.
+func (s *Store) retrainWorkers() int {
+	p := runtime.GOMAXPROCS(0)
+	slots := min(len(s.shards), cap(s.retrainSem))
+	if slots < 1 {
+		slots = 1
+	}
+	w := p / slots
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// merger is the background goroutine: it *dispatches* a concurrent drain
+// for whichever shard crossed its threshold — independent shards retrain
+// in parallel, bounded by the retrain semaphore — and on shutdown waits
+// for in-flight drains, then drains everything so Close is a barrier. On
+// a persistent Store a drain is a flush: pending keys become one segment
+// file and the WAL is trimmed.
 func (s *Store) merger() {
 	defer s.wg.Done()
 	for {
 		select {
 		case i := <-s.mergeCh:
-			s.drain(i)
+			s.dispatchDrain(i)
 			s.sweep()
 		case <-s.quit:
-			if s.eng != nil {
-				s.drain(0)
-				return
-			}
-			for i := range s.shards {
-				s.drain(i)
-			}
+			s.drainWG.Wait()
+			s.Flush()
 			return
 		}
 	}
 }
 
-// sweep drains every shard whose buffer crossed the threshold while the
-// merger was busy: a hot shard can fill mergeCh with its own index, so a
-// cold shard's single notification may have been dropped. The post-drain
-// sweep restores the bounded-staleness promise for those shards.
+// dispatchDrain starts a background drain of shard i unless one is
+// already in flight for it. After the drain, a buffer that refilled past
+// the threshold re-signals the merger, preserving bounded staleness for
+// hot shards.
+func (s *Store) dispatchDrain(i int) {
+	if s.eng != nil {
+		s.drain(0)
+		return
+	}
+	sh := s.shards[i]
+	if !sh.merging.CompareAndSwap(false, true) {
+		return // this shard's drain is already queued or running
+	}
+	s.drainWG.Add(1)
+	go func() {
+		defer s.drainWG.Done()
+		s.drain(i)
+		sh.merging.Store(false)
+		sh.mu.Lock()
+		over := len(sh.buf) >= s.thresh
+		sh.mu.Unlock()
+		if over {
+			select {
+			case s.mergeCh <- i:
+			default:
+			}
+		}
+	}()
+}
+
+// sweep dispatches a drain for every shard whose buffer crossed the
+// threshold while the merger was busy: a hot shard can fill mergeCh with
+// its own index, so a cold shard's single notification may have been
+// dropped. The post-signal sweep restores the bounded-staleness promise
+// for those shards.
 func (s *Store) sweep() {
 	if s.eng != nil {
 		if s.eng.PendingLen() >= s.thresh {
@@ -332,14 +457,15 @@ func (s *Store) sweep() {
 		over := len(sh.buf) >= s.thresh
 		sh.mu.Unlock()
 		if over {
-			s.drain(i)
+			s.dispatchDrain(i)
 		}
 	}
 }
 
 // drain merges shard i's buffer into a fresh snapshot and publishes it.
 // Readers are never blocked: the retrain happens on a private copy and the
-// swap is a single atomic store.
+// swap is a single atomic store. Same-shard drains serialize on mergeMu;
+// different shards proceed concurrently up to the retrain semaphore.
 func (s *Store) drain(i int) {
 	if s.eng != nil {
 		s.eng.Flush() // errors are sticky; surfaced by Sync/Close
@@ -355,29 +481,38 @@ func (s *Store) drain(i int) {
 	if len(buf) == 0 {
 		return
 	}
+	s.retrainSem <- struct{}{}
+	defer func() { <-s.retrainSem }()
 	slices.Sort(buf)
-	buf = dedupSorted(buf)
+	deduped := dedupSorted(buf)
 	cur := sh.snap.Load()
-	merged := mergeDedup(cur.keys, buf)
+	merged := mergeDedup(cur.keys, deduped)
+	putShardBuf(buf) // deduped aliases buf; both are dead past the merge
 	if len(merged) == len(cur.keys) {
 		return // every buffered key was already present
 	}
-	sh.snap.Store(newSnapshot(merged, s.cfg))
+	sh.snap.Store(newSnapshot(merged, s.cfg, s.retrainWorkers()))
 	s.merges.Add(1)
 }
 
-// Flush synchronously drains every shard: a visibility barrier making all
-// previously returned Inserts readable. On a persistent Store it also
-// makes them durable (segment files are fsynced before the WAL is
-// trimmed).
+// Flush synchronously drains every shard — concurrently, bounded by the
+// retrain semaphore — a visibility barrier making all previously returned
+// Inserts readable. On a persistent Store it also makes them durable
+// (segment files are fsynced before the WAL is trimmed).
 func (s *Store) Flush() {
 	if s.eng != nil {
 		s.drain(0)
 		return
 	}
+	var wg sync.WaitGroup
 	for i := range s.shards {
-		s.drain(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.drain(i)
+		}(i)
 	}
+	wg.Wait()
 }
 
 // Sync is the durability barrier of a persistent Store: when it returns

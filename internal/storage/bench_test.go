@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"learnedindex/internal/data"
@@ -64,6 +65,31 @@ func BenchmarkEngineColdOpen(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineCommitParallel measures group-commit throughput: every
+// parallel worker is a durable committer, so the cohort amortizes one
+// fsync across all of them. Compare with -cpu=1,8 (or the writepath
+// experiment) to see the fsync amortization; b.N counts keys.
+func BenchmarkEngineCommitParallel(b *testing.B) {
+	e, err := Open(b.TempDir(), Options{NoCompactor: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := e.Commit(next.Add(1)); err != nil {
+				b.Error(err) // Fatal is not allowed off the benchmark goroutine
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.WALSyncs), "fsyncs")
 }
 
 func BenchmarkEngineFlushSegment(b *testing.B) {

@@ -17,7 +17,11 @@
 // # Consistency and durability model
 //
 // Append buffers keys in the WAL and an in-memory pending list; Sync makes
-// every prior Append crash-durable (fsync ack). Keys become *served*
+// every prior Append crash-durable (fsync ack); Commit does both in one
+// group-committed call — concurrent committers form a cohort whose keys
+// are encoded as a single WAL frame and covered by a single fsync, so
+// synced-insert throughput scales with the committer count instead of
+// paying one disk flush each. Keys become *served*
 // (visible to Contains/Lookup/Len) at Flush, which trains a segment over
 // the novel pending keys and truncates the WAL. After a crash, recovery
 // re-serves exactly the keys that were durable: all flushed segments plus
@@ -38,6 +42,7 @@ import (
 	"math/bits"
 	"os"
 	"path/filepath"
+	"runtime"
 	"slices"
 	"sort"
 	"strings"
@@ -45,6 +50,7 @@ import (
 	"sync/atomic"
 
 	"learnedindex/internal/core"
+	"learnedindex/internal/slicepool"
 )
 
 // Options configures an Engine.
@@ -89,6 +95,8 @@ type Stats struct {
 	ModelsTrained int // RMIs trained by flushes and compactions
 	Flushes       int
 	Compactions   int
+	WALSyncs      int // fsyncs issued by the commit plane
+	Commits       int // Commit calls acknowledged (group-committed)
 }
 
 // Engine is the disk-backed store. Open one per directory; Close releases
@@ -97,14 +105,30 @@ type Engine struct {
 	dir  string
 	opts Options
 
-	// mu serializes the write plane: the active WAL, pending keys, and the
-	// sticky error. It is held only for cheap operations — appends, WAL
-	// fsyncs, and the flush freeze step — never across segment training.
+	// mu serializes the write plane: the active WAL buffer, pending keys,
+	// the commit cohort, and the sticky error. It is held only for cheap
+	// operations — appends, frame encodes, and the flush freeze step —
+	// never across segment training, and never across a group-commit
+	// leader's fsync (the leader drops mu for the disk wait so appends and
+	// cohort enqueues keep flowing).
 	mu      sync.Mutex
 	wal     *wal
 	walSeq  uint64
 	pending []uint64
 	err     error
+
+	// Group-commit state, guarded by mu. appendSeq counts accepted write
+	// calls (Append, AppendBatch, Commit enqueue); durableSeq is the
+	// highest appendSeq covered by a completed fsync. A Sync/Commit caller
+	// captures its target and waits on syncCond until durableSeq passes it;
+	// the first waiter with an uncovered target elects itself leader,
+	// encodes every queued cohort batch into ONE frame, flushes, and
+	// fsyncs once for everyone — tickets are woken by the broadcast.
+	appendSeq  uint64
+	durableSeq uint64
+	syncing    bool
+	syncCond   *sync.Cond
+	cohort     [][]uint64 // queued Commit batches awaiting the next frame
 	// flushMu serializes whole flushes (freeze → train → commit → retire),
 	// keeping concurrent Flush calls from racing each other while mu stays
 	// free for appends during the heavy middle part.
@@ -128,6 +152,8 @@ type Engine struct {
 	modelsTrained atomic.Int64
 	flushes       atomic.Int64
 	compactions   atomic.Int64
+	walSyncs      atomic.Int64 // fsyncs issued by the commit plane
+	commits       atomic.Int64 // Commit calls acknowledged
 }
 
 // Open recovers (or creates) the engine rooted at dir: load and validate
@@ -146,6 +172,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 		compactCh: make(chan struct{}, 1),
 		quit:      make(chan struct{}),
 	}
+	e.syncCond = sync.NewCond(&e.mu)
 	segs, nextSeq, err := loadSegments(dir)
 	if err != nil {
 		return nil, err
@@ -274,6 +301,14 @@ const maxAppendChunk = 1 << 19
 // pending. They are durable after the next Sync and served after the next
 // Flush.
 func (e *Engine) Append(keys ...uint64) error {
+	return e.AppendBatch(keys)
+}
+
+// AppendBatch is Append without variadic sugar: the bulk-ingest fast
+// path. The record encode runs in a pooled scratch buffer, so a
+// steady-state append allocates nothing beyond the pending list's
+// amortized growth.
+func (e *Engine) AppendBatch(keys []uint64) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -294,21 +329,167 @@ func (e *Engine) Append(keys ...uint64) error {
 		e.pending = append(e.pending, chunk...)
 		keys = keys[len(chunk):]
 	}
+	e.appendSeq++
 	return nil
 }
 
 // Sync acknowledges durability: when it returns nil, every key appended
-// before the call survives a crash.
+// before the call survives a crash. Concurrent Sync callers group-commit:
+// the first uncovered waiter leads one fsync for the whole cohort instead
+// of each caller paying its own disk flush.
 func (e *Engine) Sync() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.waitDurable(e.appendSeq)
+}
+
+// Commit durably inserts keys in one call: the group-commit hot path.
+// The batch joins the current commit cohort; a leader encodes the whole
+// cohort as ONE WAL frame and performs ONE fsync for it, waking every
+// ticket when the flush lands. When Commit returns nil the keys survive
+// any crash (they are served after the next Flush, like Append). The keys
+// slice must not be mutated until Commit returns.
+func (e *Engine) Commit(keys ...uint64) error {
+	return e.CommitBatch(keys)
+}
+
+// CommitBatch is Commit without variadic sugar.
+func (e *Engine) CommitBatch(keys []uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(keys) == 0 {
+		// Nothing to add; still honor the durability barrier semantics.
+		return e.waitDurable(e.appendSeq)
+	}
 	if e.err != nil {
 		return e.err
 	}
-	if err := e.wal.sync(); err != nil {
-		e.err = err
+	if e.closed.Load() {
+		return fmt.Errorf("storage: engine closed")
 	}
-	return e.err
+	// Enqueue: the cohort slice holds a reference to the caller's batch
+	// (the caller blocks until the frame is encoded, so it stays valid);
+	// pending gets the keys now so a racing Flush freeze serves them.
+	e.cohort = append(e.cohort, keys)
+	e.pending = append(e.pending, keys...)
+	e.appendSeq++
+	err := e.waitDurable(e.appendSeq)
+	if err == nil {
+		e.commits.Add(1)
+	}
+	return err
+}
+
+// drainCohortLocked encodes every queued Commit batch into as few WAL
+// frames as chunking allows — one for any sane cohort — clearing the
+// queue. Called with mu held by the elected leader and by the Flush
+// freeze (which must encode queued batches into the log it is about to
+// fsync and rotate past). Errors latch.
+func (e *Engine) drainCohortLocked() {
+	if len(e.cohort) == 0 || e.err != nil {
+		return
+	}
+	// Chunk by total key count so a monster cohort still respects the
+	// per-record bound; batches themselves are never split (each is at
+	// most one caller's Commit, far below the chunk limit in practice —
+	// oversized single batches fall back to their own frames).
+	start, count := 0, 0
+	flushRun := func(end int) {
+		if e.err != nil || start >= end {
+			return
+		}
+		if err := e.wal.appendBatches(e.cohort[start:end]); err != nil {
+			e.err = err
+		}
+		start, count = end, 0
+	}
+	for i, b := range e.cohort {
+		if len(b) > maxAppendChunk {
+			// Oversized batch: close the run, then frame it alone in chunks.
+			flushRun(i)
+			for lo := 0; lo < len(b) && e.err == nil; lo += maxAppendChunk {
+				hi := min(lo+maxAppendChunk, len(b))
+				if err := e.wal.append(b[lo:hi]); err != nil {
+					e.err = err
+				}
+			}
+			start = i + 1
+			continue
+		}
+		if count+len(b) > maxAppendChunk {
+			flushRun(i)
+		}
+		count += len(b)
+	}
+	flushRun(len(e.cohort))
+	for i := range e.cohort {
+		e.cohort[i] = nil
+	}
+	e.cohort = e.cohort[:0]
+}
+
+// waitDurable blocks until every write accepted at or before target is
+// crash-durable, electing a group-commit leader as needed. Called with mu
+// held; returns with mu held. The leader encodes the queued cohort, pushes
+// the WAL buffer to the OS, then drops mu for the fsync itself so the
+// write plane keeps accepting work during the disk wait; completion wakes
+// every ticket via the condvar broadcast.
+func (e *Engine) waitDurable(target uint64) error {
+	for {
+		if e.err != nil {
+			return e.err
+		}
+		if e.durableSeq >= target {
+			return nil
+		}
+		if e.syncing {
+			e.syncCond.Wait()
+			continue
+		}
+		e.syncing = true
+		// Cohort-fill window (the classic group-commit delay, reduced to
+		// one scheduler yield): with leadership claimed, give runnable
+		// committers one chance to enqueue before the frame is cut. On a
+		// single-CPU host this is what actually forms cohorts — a blocked
+		// fsync syscall does not reliably hand the processor to the
+		// waiters — and on multi-core hosts it costs one reschedule while
+		// the previous cohort's fsync is the natural fill window anyway.
+		e.mu.Unlock()
+		runtime.Gosched()
+		e.mu.Lock()
+		if e.err != nil {
+			e.syncing = false
+			e.syncCond.Broadcast()
+			return e.err
+		}
+		e.drainCohortLocked()
+		if e.err == nil {
+			if err := e.wal.w.Flush(); err != nil {
+				e.err = err
+			}
+		}
+		if e.err != nil {
+			e.syncing = false
+			e.syncCond.Broadcast()
+			return e.err
+		}
+		covered := e.appendSeq // everything encoded so far rides this fsync
+		w := e.wal
+		e.mu.Unlock()
+		serr := w.fsync()
+		e.mu.Lock()
+		e.walSyncs.Add(1)
+		if serr != nil && e.err == nil {
+			e.err = serr
+		}
+		if serr == nil && covered > e.durableSeq {
+			e.durableSeq = covered
+		}
+		e.syncing = false
+		e.syncCond.Broadcast()
+		// Loop: covered >= target by construction, so this returns unless
+		// the fsync failed — then the sticky error surfaces.
+	}
 }
 
 // Flush makes every pending key served and trims the log. The write
@@ -331,8 +512,17 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return nil
 	}
+	// Queued Commit batches must land in the log being frozen: their keys
+	// are already pending (and will reach the segment), so their frames
+	// have to be covered by this fsync for the ack plane to stay honest.
+	e.drainCohortLocked()
+	if e.err != nil {
+		err := e.err
+		e.mu.Unlock()
+		return err
+	}
 	snap := e.pending
-	e.pending = nil
+	e.pending = getPendingBuf()
 	frozen := e.wal
 	// The frozen log must be durable before the ack plane moves past it:
 	// a Sync arriving after the freeze fsyncs only the new active log, so
@@ -342,6 +532,13 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return err
 	}
+	e.walSyncs.Add(1)
+	// Everything encoded so far is now on disk; release any committers
+	// waiting on the old log before the heavy training starts.
+	if e.appendSeq > e.durableSeq {
+		e.durableSeq = e.appendSeq
+	}
+	e.syncCond.Broadcast()
 	nw, err := newWAL(filepath.Join(e.dir, walFileName(e.walSeq+1)))
 	if err != nil {
 		e.err = err
@@ -351,6 +548,7 @@ func (e *Engine) Flush() error {
 	e.walSeq++
 	e.wal = nw
 	e.mu.Unlock()
+	defer putPendingBuf(snap)
 
 	if err := e.materialize(snap); err != nil {
 		// Keep the frozen log file on disk — it is the only durable home
@@ -370,6 +568,15 @@ func (e *Engine) Flush() error {
 	e.kickCompactor()
 	return nil
 }
+
+// pendingPool recycles the engine's pending-key buffers across flushes:
+// every freeze hands its snapshot to materialize (which clones what it
+// needs) and takes a recycled buffer for the next fill, so sustained
+// ingest stops re-growing a fresh pending slice per flush cycle.
+var pendingPool slicepool.Pool[uint64]
+
+func getPendingBuf() []uint64  { return pendingPool.Get() }
+func putPendingBuf(b []uint64) { pendingPool.Put(b) }
 
 // materialize dedupes keys against the served segments and commits the
 // novel remainder as one new trained segment. Called from Flush (off the
@@ -559,6 +766,8 @@ func (e *Engine) Stats() Stats {
 		ModelsTrained: int(e.modelsTrained.Load()),
 		Flushes:       int(e.flushes.Load()),
 		Compactions:   int(e.compactions.Load()),
+		WALSyncs:      int(e.walSyncs.Load()),
+		Commits:       int(e.commits.Load()),
 	}
 	for _, s := range segs {
 		st.Keys += len(s.keys)
@@ -694,18 +903,46 @@ func (e *Engine) compactOnce() (bool, error) {
 	return true, nil
 }
 
-// mergeRuns k-way merges disjoint sorted key arrays into one fresh array.
+// mergeRuns k-way merges disjoint sorted key arrays into one fresh
+// array: a head-comparison merge (the run count is capped at 2x the
+// compaction fanout, so the linear head scan beats a heap) instead of
+// concatenate-and-sort — no O(total log total) sort, no sort scratch,
+// just the exact-size output that the new segment retains.
 func mergeRuns(run []*segment) []uint64 {
 	total := 0
 	for _, s := range run {
 		total += len(s.keys)
 	}
 	out := make([]uint64, 0, total)
-	for _, s := range run {
-		out = append(out, s.keys...)
+	var heads [16]int
+	var hs []int
+	if len(run) <= len(heads) {
+		hs = heads[:len(run)]
+	} else {
+		hs = make([]int, len(run))
 	}
-	slices.Sort(out)
-	return slices.Compact(out)
+	for {
+		best := -1
+		var bk uint64
+		for s, h := range hs {
+			if h >= len(run[s].keys) {
+				continue
+			}
+			if k := run[s].keys[h]; best < 0 || k < bk {
+				best, bk = s, k
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		hs[best]++
+		// Runs are disjoint by the segment invariant; the adjacency check
+		// keeps a violated invariant from ever minting duplicate keys.
+		if n := len(out); n > 0 && out[n-1] == bk {
+			continue
+		}
+		out = append(out, bk)
+	}
 }
 
 // Close flushes pending keys, stops the compactor, and closes the active

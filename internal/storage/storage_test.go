@@ -190,6 +190,37 @@ func TestEngineCompaction(t *testing.T) {
 	}
 }
 
+// TestEngineCompactionWideRun compacts a run wider than mergeRuns' inline
+// heads array (2 x fanout 9 = up to 18 inputs): the merge must fall back
+// to a heap-allocated head list instead of slicing past the array.
+func TestEngineCompactionWideRun(t *testing.T) {
+	dir := t.TempDir()
+	e := openT(t, dir, Options{NoCompactor: true, CompactFanout: 9})
+	defer e.Close()
+	keys := data.Uniform(18_000, 1_000_000_000, 83)
+	for i := 0; i < 18; i++ {
+		e.Append(keys[i*1000 : (i+1)*1000]...)
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Compactions == 0 || st.Segments >= 18 {
+		t.Fatalf("wide run did not compact: %+v", st)
+	}
+	if e.Len() != len(keys) {
+		t.Fatalf("Len=%d after wide compaction, want %d", e.Len(), len(keys))
+	}
+	for _, k := range data.SampleExisting(keys, 1000, 84) {
+		if !e.Contains(k) {
+			t.Fatalf("wide compaction lost key %d", k)
+		}
+	}
+}
+
 // TestEngineCrashedCompactionRecovery simulates a crash after the
 // compacted segment was committed but before the inputs were deleted: the
 // containment rule must garbage-collect the inputs at the next open.

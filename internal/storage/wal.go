@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 
 	"learnedindex/internal/binenc"
+	"learnedindex/internal/slicepool"
 )
 
 // Write-ahead log. Every Append is one framed record:
@@ -16,7 +18,9 @@ import (
 //	payload = uvarint keyCount, then keyCount uvarint keys
 //
 // Durability contract: Append is buffered; only Sync makes previously
-// appended records crash-safe (flush + fsync). Recovery scans records
+// appended records crash-safe (flush + fsync). Concurrent committers are
+// group-committed: a whole cohort's keys are encoded as one frame and
+// covered by one fsync (see the Engine's commit plane). Recovery scans records
 // front to back, stops at the first frame whose length, checksum, or
 // payload fails validation, and truncates everything after it — a torn
 // tail (the bytes past the last fsync that partially reached disk) is cut
@@ -50,13 +54,21 @@ func parseWALFileName(name string) (seq uint64, ok bool) {
 	return seq, true
 }
 
-// wal is one open log file. It is not goroutine-safe; the Engine
-// serializes access under its mutex.
+// wal is one open log file. Appends and buffer flushes are serialized by
+// the Engine's write mutex; fsync and close additionally coordinate
+// through fsyncMu so a group-commit leader's fsync — which runs *off* the
+// engine mutex — can never race the file's close. A sync on a closed wal
+// is a no-op by design: the only closers are Flush (which fsyncs the
+// frozen log before rotating past it) and Engine.Close, so a closed wal's
+// bytes are already durable or the engine has latched an error.
 type wal struct {
 	f    *os.File
 	w    *bufio.Writer
 	path string
 	size int64 // logical end of the last appended record (incl. buffered)
+
+	fsyncMu sync.Mutex
+	closed  bool
 }
 
 // newWAL creates a fresh, empty log at path.
@@ -103,12 +115,40 @@ func replayWAL(data []byte) (keys []uint64, good int64) {
 	}
 }
 
+// walBufPool recycles record encode buffers so the append hot path is
+// allocation-free under sustained ingest — a full varint-encoded record is
+// built in a pooled scratch and memcpy'd into the write buffer.
+var walBufPool slicepool.Pool[byte]
+
 // append frames keys as one record into the write buffer.
 func (w *wal) append(keys []uint64) error {
-	payload := binenc.AppendUvarint(nil, uint64(len(keys)))
-	for _, k := range keys {
-		payload = binenc.AppendUvarint(payload, k)
+	return w.appendBatches([][]uint64{keys})
+}
+
+// appendBatches frames all batches as ONE record — the group-commit frame:
+// a whole cohort of committers shares a single header, checksum, and
+// (later) fsync. The caller keeps batches non-empty and the total key
+// count within maxAppendChunk.
+func (w *wal) appendBatches(batches [][]uint64) error {
+	total := 0
+	for _, b := range batches {
+		total += len(b)
 	}
+	payload := walBufPool.Get()
+	payload = binenc.AppendUvarint(payload, uint64(total))
+	for _, b := range batches {
+		for _, k := range b {
+			payload = binenc.AppendUvarint(payload, k)
+		}
+	}
+	err := w.writeFrame(payload)
+	walBufPool.Put(payload)
+	return err
+}
+
+// writeFrame checksums payload and writes the framed record into the
+// write buffer.
+func (w *wal) writeFrame(payload []byte) error {
 	if len(payload) > maxWALRecord {
 		return fmt.Errorf("storage: WAL record of %d bytes exceeds limit", len(payload))
 	}
@@ -125,19 +165,37 @@ func (w *wal) append(keys []uint64) error {
 	return nil
 }
 
-// sync makes every appended record durable: buffer flush plus fsync.
+// sync makes every appended record durable: buffer flush plus fsync. The
+// caller must hold the engine write mutex (the buffer is not
+// goroutine-safe); the fsync itself goes through the close guard.
 func (w *wal) sync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
+	}
+	return w.fsync()
+}
+
+// fsync flushes OS-buffered bytes to stable storage. Safe to call off the
+// engine mutex (group-commit leaders do); on an already-closed wal it is
+// a no-op — see the struct comment for why that is sound.
+func (w *wal) fsync() error {
+	w.fsyncMu.Lock()
+	defer w.fsyncMu.Unlock()
+	if w.closed {
+		return nil
 	}
 	return w.f.Sync()
 }
 
 // close flushes and closes the file without fsync (callers sync first
-// when they need durability).
+// when they need durability). The close guard waits out any in-flight
+// leader fsync so the descriptor is never pulled from under one.
 func (w *wal) close() error {
 	ferr := w.w.Flush()
+	w.fsyncMu.Lock()
+	w.closed = true
 	cerr := w.f.Close()
+	w.fsyncMu.Unlock()
 	if ferr != nil {
 		return ferr
 	}

@@ -55,12 +55,14 @@ type (
 type (
 	// Store is the thread-safe sharded serving layer: range-partitioned
 	// shards, lock-free RCU-style reads, buffered inserts merged and
-	// retrained by a background goroutine, and batched lookups that
-	// amortize model routing across a sorted probe batch. See the package
-	// comment of internal/serve for the consistency model. With
-	// StoreOptions.Dir set (open with OpenStore) the Store is persistent:
-	// WAL-backed inserts with a Sync durability barrier, learned segment
-	// files, crash recovery, and background compaction.
+	// retrained concurrently across shards (bounded by a GOMAXPROCS
+	// retrain semaphore), and batched lookups that amortize model routing
+	// across a sorted probe batch. See the package comment of
+	// internal/serve for the consistency model. With StoreOptions.Dir set
+	// (open with OpenStore) the Store is persistent: WAL-backed inserts
+	// with a Sync durability barrier and a group-committed InsertDurable
+	// (concurrent durable writers share one WAL frame and one fsync),
+	// learned segment files, crash recovery, and background compaction.
 	Store = serve.Store
 	// StoreOptions sets the shard count and per-shard merge threshold,
 	// and — via Dir — switches the Store to the persistent storage engine.
@@ -105,8 +107,15 @@ const (
 
 // Constructors.
 var (
-	// New trains an RMI over sorted unique keys (Algorithm 1).
+	// New trains an RMI over sorted unique keys (Algorithm 1). Stage
+	// training runs on a bounded worker pool sized to GOMAXPROCS with
+	// results bit-identical to the sequential trainer; single-CPU hosts
+	// fall back to the sequential path automatically.
 	New = core.New
+	// NewWithTrainWorkers trains like New with an explicit worker count
+	// (1 = sequential). Serialized results are identical for every count;
+	// the knob exists for train-scaling benchmarks and tuning.
+	NewWithTrainWorkers = core.NewWithTrainWorkers
 	// DefaultConfig returns the paper's default 2-stage shape.
 	DefaultConfig = core.DefaultConfig
 	// NewString trains a string RMI.
