@@ -177,3 +177,105 @@ func TestPublicAPIStore(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", st.Len(), len(keys)+1)
 	}
 }
+
+// TestRangeScanEquivalence pins the documented RangeScan contract against
+// sort.Search: for arbitrary bounds — existing keys, gaps, out-of-domain,
+// empty, and inverted ranges — both endpoints are exactly the sort.Search
+// lower bounds, on the interpreted index and its compiled plan alike.
+func TestRangeScanEquivalence(t *testing.T) {
+	keys := sortedKeys(40_000)
+	idx := learnedindex.New(keys, learnedindex.DefaultConfig(400))
+	lb := func(k uint64) int {
+		return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	}
+	bounds := []uint64{0, keys[0], keys[0] + 1, keys[123], keys[39_999], keys[39_999] + 5, ^uint64(0)}
+	for _, a := range bounds {
+		for _, b := range bounds {
+			s, e := idx.RangeScan(a, b)
+			if ws, we := lb(a), lb(b); s != ws || e != we {
+				t.Fatalf("RangeScan(%d,%d) = [%d,%d), want [%d,%d)", a, b, s, e, ws, we)
+			}
+			ps, pe := idx.Plan().RangeScan(a, b)
+			if ps != s || pe != e {
+				t.Fatalf("Plan.RangeScan(%d,%d) = [%d,%d), want [%d,%d)", a, b, ps, pe, s, e)
+			}
+		}
+	}
+}
+
+// TestPublicAPIScan exercises the streaming scan surface end to end from
+// the facade: Scan/Seek/NextBatch/Close, ScanBatch, and CountRange over a
+// store with both merged and still-buffered keys.
+func TestPublicAPIScan(t *testing.T) {
+	keys := sortedKeys(30_000)
+	st := learnedindex.NewStore(keys, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 4})
+	defer st.Close()
+	extra := keys[29_999] + 13
+	st.Insert(extra) // buffered: scans must still see it
+
+	lo, hi := keys[100], keys[200]
+	var it *learnedindex.Iterator = st.Scan(lo, hi)
+	got := []uint64{}
+	for it.Next() {
+		got = append(got, it.Key())
+	}
+	it.Close()
+	want := keys[100:200]
+	if len(got) != len(want) {
+		t.Fatalf("Scan yielded %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if n := st.CountRange(lo, hi); n != 100 {
+		t.Fatalf("CountRange = %d, want 100", n)
+	}
+	if n := st.CountRange(0, ^uint64(0)); n != len(keys)+1 {
+		t.Fatalf("CountRange(full) = %d, want %d (buffered insert missing?)", n, len(keys)+1)
+	}
+	batch := st.ScanBatch(extra, extra+1, nil)
+	if len(batch) != 1 || batch[0] != extra {
+		t.Fatalf("ScanBatch over buffered key = %v", batch)
+	}
+	// Seek repositions within the open range.
+	it2 := st.Scan(keys[0], keys[29_999])
+	defer it2.Close()
+	if !it2.Seek(keys[500]) || it2.Key() != keys[500] {
+		t.Fatalf("Seek landed on %d, want %d", it2.Key(), keys[500])
+	}
+}
+
+// TestPublicAPIScanPersistent runs the same surface against the disk
+// engine: scans see acked-but-unflushed writes, survive flushes, and
+// CountRange stays exact across a reopen.
+func TestPublicAPIScanPersistent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := learnedindex.OpenStore(nil, learnedindex.Config{}, learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sortedKeys(5_000)
+	if err := st.InsertDurable(keys...); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ScanBatch(0, ^uint64(0), nil); len(got) != len(keys) {
+		t.Fatalf("pre-flush scan = %d keys, want %d", len(got), len(keys))
+	}
+	st.Flush()
+	if n := st.CountRange(keys[10], keys[20]); n != 10 {
+		t.Fatalf("CountRange = %d, want 10", n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := learnedindex.OpenStore(nil, learnedindex.Config{}, learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.ScanBatch(0, ^uint64(0), nil); len(got) != len(keys) {
+		t.Fatalf("post-reopen scan = %d keys, want %d", len(got), len(keys))
+	}
+}

@@ -6,10 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, all (everything except the GRU-training path
-// of figure10; add -gru to include it). serve, storage, compiled,
-// searchshootout, and writepath are this repo's extensions beyond the
-// paper: serve is
+// searchshootout, writepath, scan, all (everything except the GRU-training
+// path of figure10; add -gru to include it). serve, storage, compiled,
+// searchshootout, writepath, and scan are this repo's extensions beyond
+// the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
 // on-disk lookup throughput, and cold-open latency vs the in-memory RMI
@@ -19,7 +19,9 @@
 // lower-bound search on identical precomputed windows; writepath is the
 // multi-core write plane — group-commit WAL throughput vs concurrent
 // committers, parallel-training wall time vs worker count, and the
-// concurrent-merge flush barrier.
+// concurrent-merge flush barrier; scan is the streaming range-scan
+// subsystem — loser-tree merge throughput vs range width, model-biased vs
+// binary-search scan entry, and learned COUNT vs iterate-and-count.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -59,7 +61,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|all>...")
 		os.Exit(2)
 	}
 	for _, exp := range args {
@@ -100,8 +102,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.SearchShootout(opts)
 	case "writepath":
 		experiments.WritePath(opts)
+	case "scan":
+		experiments.Scan(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan"} {
 			run(e, opts, gru)
 		}
 		return

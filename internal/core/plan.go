@@ -291,6 +291,16 @@ func (p *Plan) Contains(key uint64) bool {
 	return pos < p.n && p.keys[pos] == key
 }
 
+// RangeScan returns the position range [start, end) of stored keys k with
+// loKey <= k < hiKey: two compiled lower-bound lookups, bit-identical to
+// RMI.RangeScan. This is the scan subsystem's entry API — a streaming range
+// scan enters the key array at start instead of binary-searching for it,
+// and a learned COUNT over [loKey, hiKey) is just end-start with zero
+// iteration.
+func (p *Plan) RangeScan(loKey, hiKey uint64) (start, end int) {
+	return p.Lookup(loKey), p.Lookup(hiKey)
+}
+
 // batchGroup is the interleaving width of the batch executors: each
 // pipeline stage (predict, route, window, search) runs for a group of this
 // many keys before the next stage starts, so the group's independent cache

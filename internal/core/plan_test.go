@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"learnedindex/internal/data"
@@ -176,5 +177,35 @@ func TestPlanQuickRandom(t *testing.T) {
 		if want := r.Lookup(k); out[i] != want {
 			t.Fatalf("random batch: Plan[%d](%d) = %d, want %d", i, k, out[i], want)
 		}
+	}
+}
+
+// TestPlanRangeScan pins the scan-entry API: Plan.RangeScan agrees with
+// RMI.RangeScan and with sort.Search lower bounds on random ranges,
+// including empty, inverted, and out-of-domain ones.
+func TestPlanRangeScan(t *testing.T) {
+	keys := data.Lognormal(20_000, 0, 2, 1_000_000_000, 9)
+	r := New(keys, DefaultConfig(128))
+	p := r.Plan()
+	rng := rand.New(rand.NewSource(11))
+	lb := func(k uint64) int {
+		return sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	}
+	check := func(lo, hi uint64) {
+		s, e := p.RangeScan(lo, hi)
+		rs, re := r.RangeScan(lo, hi)
+		if s != rs || e != re {
+			t.Fatalf("RangeScan(%d,%d): plan [%d,%d) vs rmi [%d,%d)", lo, hi, s, e, rs, re)
+		}
+		if ws, we := lb(lo), lb(hi); s != ws || e != we {
+			t.Fatalf("RangeScan(%d,%d) = [%d,%d), want [%d,%d)", lo, hi, s, e, ws, we)
+		}
+	}
+	check(0, ^uint64(0))
+	check(keys[0], keys[0])
+	check(keys[100], keys[50]) // inverted: positions still exact
+	for i := 0; i < 500; i++ {
+		lo := rng.Uint64() % (keys[len(keys)-1] + 1000)
+		check(lo, lo+rng.Uint64()%1_000_000)
 	}
 }

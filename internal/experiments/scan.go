@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/scan"
+	"learnedindex/internal/serve"
+)
+
+// ScanRow is one scan-experiment measurement.
+type ScanRow struct {
+	Config  string
+	PerOp   time.Duration
+	PerKey  time.Duration
+	Keys    int
+	SpeedUp float64
+}
+
+// Scan measures the streaming range-scan subsystem on a lognormal key set:
+//
+//   - end-to-end Store.ScanBatch throughput across range widths (the
+//     loser-tree merge over shard snapshots plus a live delta layer);
+//   - model-biased seek vs binary-search entry into the full 1M-key array,
+//     isolating what the compiled plan buys a scan's Seek — the paper's
+//     "the model predicts the position, the system scans from there"
+//     against the classic log2(n) lower-bound descent;
+//   - learned COUNT (CountRange position arithmetic) vs opening a scan and
+//     counting, across the same widths.
+//
+// Emits BENCH_scan.json via Options.JSONDir.
+func Scan(o Options) []ScanRow {
+	o = o.withDefaults()
+	keys := cachedKeys("lognormal", o.N, o.Seed, func() data.Keys { return data.LognormalPaper(o.N, o.Seed) })
+	n := len(keys)
+
+	st := serve.New(keys, core.Config{}, serve.Options{Shards: 8, MergeThreshold: 1 << 30})
+	defer st.Close()
+	// A live delta layer sized like a store on the default merge threshold:
+	// buffered inserts every scan must capture, sort, and merge in.
+	nDelta := min(4096, n/16+1)
+	rngKeys := data.SampleExisting(keys, nDelta, o.Seed+3)
+	for _, k := range rngKeys {
+		st.Insert(k + 1)
+	}
+
+	var rows []ScanRow
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Range scans — %d keys + %d buffered, loser-tree merge", n, len(rngKeys)),
+		Headers: []string{"Config", "ns/op", "ns/key", "Speedup"},
+	}
+	rep := &bench.Report{Experiment: "scan", N: o.N, Probes: o.Probes}
+	add := func(cfg string, perOp, perKey time.Duration, nkeys int, speedup float64, extra map[string]float64) {
+		rows = append(rows, ScanRow{Config: cfg, PerOp: perOp, PerKey: perKey, Keys: nkeys, SpeedUp: speedup})
+		sp := "-"
+		if speedup > 0 {
+			sp = bench.Factor(speedup)
+		}
+		pk := "-"
+		if perKey > 0 {
+			pk = ns(perKey)
+		}
+		t.Add(cfg, ns(perOp), pk, sp)
+		if extra == nil {
+			extra = map[string]float64{}
+		}
+		if perKey > 0 {
+			extra["ns_per_key"] = float64(perKey.Nanoseconds())
+		}
+		rep.Add(bench.ReportRow{Config: cfg, NsPerOp: float64(perOp.Nanoseconds()), Extra: extra})
+	}
+
+	// Random range starts, fixed widths in key positions. Reused across the
+	// throughput and count sections so "learned count" races the exact scan
+	// it replaces.
+	starts := data.SampleExisting(keys, 64, o.Seed+7)
+
+	// --- ScanBatch throughput vs range width ---------------------------
+	widths := []int{1_000, 32_000, 256_000}
+	buf := make([]uint64, 0, 300_000)
+	for _, w := range widths {
+		if w >= n {
+			continue
+		}
+		var total time.Duration
+		var produced int
+		for rd := 0; rd < o.Rounds; rd++ {
+			for _, lo := range starts {
+				hi := hiBound(keys, lo, w)
+				start := time.Now()
+				buf = st.ScanBatch(lo, hi, buf[:0])
+				total += time.Since(start)
+				produced += len(buf)
+			}
+		}
+		ops := o.Rounds * len(starts)
+		perOp := total / time.Duration(ops)
+		perKey := time.Duration(0)
+		if produced > 0 {
+			perKey = total / time.Duration(produced)
+		}
+		add(fmt.Sprintf("scan/width=%d", w), perOp, perKey, produced/ops, 0,
+			map[string]float64{"keys_per_sec": float64(produced) / total.Seconds()})
+	}
+
+	// --- Entry: model-biased seek vs binary search ---------------------
+	// The isolated cost of entering the 1M-key array at a range start —
+	// cursor.Seek with the compiled plan vs the classic binary lower-bound
+	// descent, on identical random probes (the searchshootout discipline:
+	// same work, only the strategy differs). This is the cost every scan
+	// pays once per source at open and on every Seek.
+	plan := core.New(keys, core.DefaultConfig(n/2000)).Plan()
+	probes := data.SampleExisting(keys, o.Probes, o.Seed+5)
+	timeEntry := func(pos scan.Positioner) time.Duration {
+		var cur scan.KeysCursor
+		cur.Reset(keys, pos)
+		sink := 0
+		for _, p := range probes { // warm-up
+			if cur.Seek(p) {
+				sink++
+			}
+		}
+		start := time.Now()
+		for rd := 0; rd < o.Rounds; rd++ {
+			for _, p := range probes {
+				if cur.Seek(p) {
+					sink++
+				}
+			}
+		}
+		el := time.Since(start)
+		_ = sink
+		return el / time.Duration(o.Rounds*len(probes))
+	}
+	dBin := timeEntry(nil)
+	dModel := timeEntry(plan)
+	add("entry/binary-seek", dBin, 0, 1, 1, nil)
+	add("entry/model-biased-seek", dModel, 0, 1,
+		float64(dBin)/float64(dModel),
+		map[string]float64{"speedup_vs_binary": float64(dBin) / float64(dModel)})
+
+	// --- Learned COUNT vs iterate-and-count ----------------------------
+	for _, w := range widths {
+		if w >= n {
+			continue
+		}
+		var dIter, dCount time.Duration
+		sink := 0
+		for rd := 0; rd < o.Rounds; rd++ {
+			for _, lo := range starts {
+				hi := hiBound(keys, lo, w)
+				start := time.Now()
+				it := st.Scan(lo, hi)
+				c := 0
+				for it.Next() {
+					c++
+				}
+				it.Close()
+				dIter += time.Since(start)
+				start = time.Now()
+				got := st.CountRange(lo, hi)
+				dCount += time.Since(start)
+				if got != c {
+					panic(fmt.Sprintf("CountRange(%d,%d)=%d but scan counted %d", lo, hi, got, c))
+				}
+				sink += got
+			}
+		}
+		_ = sink
+		ops := time.Duration(o.Rounds * len(starts))
+		add(fmt.Sprintf("count/iterate/width=%d", w), dIter/ops, 0, w, 1, nil)
+		add(fmt.Sprintf("count/learned/width=%d", w), dCount/ops, 0, w,
+			float64(dIter)/float64(dCount),
+			map[string]float64{"speedup_vs_iterate": float64(dIter) / float64(dCount)})
+	}
+
+	render(o, t)
+	emitJSON(o, rep)
+	return rows
+}
+
+// hiBound returns the key width positions past lo's lower bound (clamped),
+// so a [lo, hi) scan covers ~width stored keys.
+func hiBound(keys data.Keys, lo uint64, width int) uint64 {
+	p := keys.LowerBound(lo) + width
+	if p >= len(keys) {
+		return keys[len(keys)-1] + 1
+	}
+	return keys[p]
+}

@@ -1,0 +1,198 @@
+package serve
+
+// Streaming range scans and learned counts over the serving layer: the
+// snapshot-consistent composition of every layer a key can live in.
+//
+// An in-memory Store's scan merges (a) one cursor over the combined
+// per-shard insert buffers — the delta layer, copied and sorted at open —
+// and (b) one cursor per shard base array, entered at the position the
+// shard's compiled plan predicts for the range start (model-biased seek,
+// not binary search). A persistent Store's scan merges the engine's
+// unflushed WAL delta with one lazy block-decoding cursor per on-disk
+// segment, pruned by min/max fences and pinned against compaction for the
+// scan's lifetime (storage.Snapshot).
+//
+// # Consistency
+//
+// A scan (and CountRange) observes every Insert that returned before the
+// call — including still-buffered ones the point-read path won't serve
+// until the next drain — and nothing that starts after it: the capture
+// copies each shard's buffer AND its in-flight draining batch before
+// loading the shard snapshot (the engine equivalently copies
+// pending+flushing before the segment list), so a key mid-migration
+// between layers is seen in at least one, and the merge's newest-wins
+// dedup collapses a key seen in two. After the capture the scan is
+// isolated: concurrent inserts, drains, retrains, flushes, and compactions
+// never add to, remove from, or reorder an open scan's stream.
+//
+// # Allocation discipline
+//
+// All scan state — the iterator, its tournament arrays, cursor structs,
+// delta copies, and (persistent) the storage snapshot — recycles through
+// pools; a steady-state Scan→drain→Close cycle allocates nothing here
+// (asserted by TestScanAllocs).
+
+import (
+	"slices"
+	"sync"
+
+	"learnedindex/internal/scan"
+	"learnedindex/internal/storage"
+)
+
+// scanState is the pooled per-scan working set: the captured view (shard
+// snapshots + delta copy, or the pinned storage snapshot) plus the backing
+// array for the concrete slice cursors. It implements scan.Closer, so the
+// iterator's Close returns everything here to the pool.
+type scanState struct {
+	snap  *storage.Snapshot
+	snaps []*snapshot
+	delta []uint64
+	kcs   []scan.KeysCursor
+}
+
+var scanStatePool = sync.Pool{New: func() any { return new(scanState) }}
+
+// CloseScan unpins the storage snapshot (persistent scans), drops snapshot
+// references, and recycles the state. Runs via Iterator.Close after every
+// cursor has been released.
+func (st *scanState) CloseScan() {
+	if st.snap != nil {
+		st.snap.Release()
+		st.snap = nil
+	}
+	for i := range st.snaps {
+		st.snaps[i] = nil
+	}
+	st.snaps = st.snaps[:0]
+	st.kcs = st.kcs[:0] // cursor Release already dropped the key refs
+	scanStatePool.Put(st)
+}
+
+// captureInMemory copies the delta layer (every shard's buffer plus any
+// in-flight draining batch, restricted to [lo, hi) so the sort cost
+// scales with delta∩range rather than the whole buffer) and THEN loads
+// each shard's published snapshot. The order is the loss-free invariant: a
+// drain moves keys buffer → draining → snapshot, clearing draining only
+// after publication, so copying buffers first can duplicate a migrating
+// key (dedup absorbs it) but never miss one.
+func (st *scanState) captureInMemory(s *Store, lo, hi uint64) {
+	st.delta = st.delta[:0]
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.delta = scan.AppendInRange(st.delta, sh.buf, lo, hi)
+		st.delta = scan.AppendInRange(st.delta, sh.draining, lo, hi)
+		sh.mu.Unlock()
+	}
+	slices.Sort(st.delta)
+	st.delta = dedupSorted(st.delta)
+	st.snaps = st.snaps[:0]
+	for _, sh := range s.shards {
+		st.snaps = append(st.snaps, sh.snap.Load())
+	}
+}
+
+// Scan opens a streaming merge over every key in [lo, hi): ascending,
+// deduplicated, snapshot-consistent per the package comment above. The
+// iterator starts before the first key — drive it with Next (or NextBatch)
+// and always Close it; Seek repositions within the range. hi is exclusive,
+// so ^uint64(0) scans to the end of the domain save the maximal key.
+func (s *Store) Scan(lo, hi uint64) *scan.Iterator {
+	it := scan.Get()
+	st := scanStatePool.Get().(*scanState)
+	if s.eng != nil {
+		sn := s.eng.AcquireSnapshotRange(lo, hi)
+		st.snap = sn
+		if p := sn.Pending(); len(p) > 0 {
+			st.kcs = append(st.kcs[:0], scan.KeysCursor{})
+			st.kcs[0].Reset(p, nil)
+			it.Add(&st.kcs[0]) // the delta is the newest layer: it wins ties
+		}
+		for i := 0; i < sn.NumSegments(); i++ {
+			if c := sn.SegmentCursor(i, lo, hi); c != nil {
+				it.Add(c)
+			}
+		}
+		it.Start(lo, hi, st)
+		return it
+	}
+	st.captureInMemory(s, lo, hi)
+	// Fill the concrete cursor array completely before taking pointers:
+	// delta first (newest layer wins merge ties), then every shard whose
+	// snapshot overlaps the range — shards are range-disjoint, so the fence
+	// check prunes all but the covering ones.
+	st.kcs = st.kcs[:0]
+	if len(st.delta) > 0 {
+		st.kcs = append(st.kcs, scan.KeysCursor{})
+		st.kcs[len(st.kcs)-1].Reset(st.delta, nil)
+	}
+	for _, sn := range st.snaps {
+		ks := sn.keys
+		if len(ks) == 0 || ks[0] >= hi || ks[len(ks)-1] < lo {
+			continue
+		}
+		st.kcs = append(st.kcs, scan.KeysCursor{})
+		st.kcs[len(st.kcs)-1].Reset(ks, sn.plan)
+	}
+	for i := range st.kcs {
+		it.Add(&st.kcs[i])
+	}
+	it.Start(lo, hi, st)
+	return it
+}
+
+// ScanBatch appends every key in [lo, hi) — same view as Scan — to dst and
+// returns it, growing dst as needed. The drain runs through the iterator's
+// batched fill, so the per-key cost is the amortized tournament pop.
+func (s *Store) ScanBatch(lo, hi uint64, dst []uint64) []uint64 {
+	it := s.Scan(lo, hi)
+	defer it.Close()
+	for {
+		if len(dst) == cap(dst) {
+			dst = slices.Grow(dst, max(256, cap(dst)))
+		}
+		free := dst[len(dst):cap(dst)]
+		n := it.NextBatch(free)
+		dst = dst[:len(dst)+n]
+		if n < len(free) {
+			return dst
+		}
+	}
+}
+
+// CountRange returns the exact number of distinct keys in [lo, hi) over
+// the same view a Scan at this instant would stream — without iterating.
+// Each shard (or on-disk segment) answers by position arithmetic: two
+// compiled-plan lower-bound lookups, end minus start. The delta layer then
+// contributes an exact correction: every buffered key inside the range
+// counts only if its shard's snapshot (or the segment set) doesn't already
+// hold it. The capture copies only in-range buffered keys, so the cost is
+// O(total buffered + shards + (delta∩range)·log) with the sort and the
+// membership probes scaling with the in-range delta alone — independent of
+// the range width: counting a billion-key range is two model inferences
+// per layer plus the delta correction.
+func (s *Store) CountRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	if s.eng != nil {
+		return s.eng.CountRange(lo, hi)
+	}
+	st := scanStatePool.Get().(*scanState)
+	st.captureInMemory(s, lo, hi)
+	total := 0
+	for _, sn := range st.snaps {
+		if ks := sn.keys; len(ks) == 0 || ks[0] >= hi || ks[len(ks)-1] < lo {
+			continue
+		}
+		a, b := sn.plan.RangeScan(lo, hi)
+		total += b - a
+	}
+	for _, k := range st.delta { // already restricted to [lo, hi)
+		if !st.snaps[s.shardFor(k)].plan.Contains(k) {
+			total++
+		}
+	}
+	st.CloseScan()
+	return total
+}

@@ -40,6 +40,11 @@
 //     atomic load per shard, taken once per call). Concurrent merges may
 //     shift positions between calls, but within a single call every
 //     position is consistent with the captured view.
+//   - Range queries (Scan, ScanBatch, CountRange — see scan.go) have a
+//     *stronger* visibility rule than point reads: they observe every
+//     Insert that returned before the call, including still-buffered ones,
+//     via a loss-free capture of the buffer + in-flight drain + snapshot
+//     layers; an open scan is then fully isolated from later mutations.
 //   - A single Store method may be called from any number of goroutines
 //     concurrently with any other, including Insert, Flush, and Close.
 //     This package — not core.DeltaIndex, which is single-goroutine only —
@@ -134,9 +139,16 @@ type shard struct {
 	// merging gates background drain dispatch: one in-flight background
 	// drain per shard, so a hot shard cannot pile up goroutines.
 	merging atomic.Bool
-	// mu protects buf, the unordered insert buffer.
+	// mu protects buf, the unordered insert buffer, and draining.
 	mu  sync.Mutex
 	buf []uint64
+	// draining holds the buffer a drain has taken but not yet published:
+	// from the moment the drain detaches buf until the merged snapshot is
+	// swapped in, the keys live here and nowhere readers can see — except
+	// scans, which capture buf+draining before loading the snapshot, so a
+	// key migrating through a drain is visible at every instant. The drain
+	// never mutates the draining slice (it sorts a copy).
+	draining []uint64
 }
 
 // Store is the sharded serving layer. Create with New (or Open for a
@@ -477,22 +489,40 @@ func (s *Store) drain(i int) {
 	sh.mu.Lock()
 	buf := sh.buf
 	sh.buf = nil
+	if len(buf) > 0 {
+		sh.draining = buf // scans see the in-flight keys until publication
+	}
 	sh.mu.Unlock()
 	if len(buf) == 0 {
 		return
 	}
+	// release clears the scan-visible draining reference and only then
+	// recycles the buffers — a pooled buffer must never be re-appended to
+	// while a scan capture could still be copying it.
+	release := func(work []uint64) {
+		sh.mu.Lock()
+		sh.draining = nil
+		sh.mu.Unlock()
+		putShardBuf(buf)
+		putShardBuf(work)
+	}
 	s.retrainSem <- struct{}{}
 	defer func() { <-s.retrainSem }()
-	slices.Sort(buf)
-	deduped := dedupSorted(buf)
+	// Sort a copy: buf is concurrently readable as sh.draining.
+	work := append(getShardBuf(), buf...)
+	slices.Sort(work)
+	deduped := dedupSorted(work)
 	cur := sh.snap.Load()
 	merged := mergeDedup(cur.keys, deduped)
-	putShardBuf(buf) // deduped aliases buf; both are dead past the merge
 	if len(merged) == len(cur.keys) {
-		return // every buffered key was already present
+		// Every buffered key was already present: the published snapshot
+		// covers them, so draining can clear without a swap.
+		release(work)
+		return
 	}
 	sh.snap.Store(newSnapshot(merged, s.cfg, s.retrainWorkers()))
 	s.merges.Add(1)
+	release(work)
 }
 
 // Flush synchronously drains every shard — concurrently, bounded by the

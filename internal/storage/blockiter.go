@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"learnedindex/internal/binenc"
+)
+
+// scanBlockKeys is the lazy-decode granularity of a segment scan: the
+// delta-varint key block is decoded scanBlockKeys keys at a time from the
+// retained raw bytes, so a narrow range scan touches only the blocks its
+// range overlaps instead of re-materializing the whole segment. 512 keys
+// keep a decoded block (4 KiB) inside L1 while amortizing the per-block
+// directory lookup over enough varint decodes to make it free.
+const scanBlockKeys = 512
+
+// blockIndex is a segment's sparse directory into its raw delta-varint key
+// block: for every scanBlockKeys-th key it records the absolute key value
+// and the byte offset where the *following* delta starts, which is exactly
+// the state a varint decoder needs to start mid-stream. Built once at
+// segment write/open by a validating pass (buildBlockIndex), after which
+// block decodes are panic-free by construction.
+type blockIndex struct {
+	raw   []byte   // the key block: uvarint firstKey, then n-1 uvarint deltas
+	n     int      // total key count
+	first []uint64 // first[b] = key[b*scanBlockKeys]
+	off   []int32  // off[b] = offset in raw of the delta for key b*scanBlockKeys+1
+}
+
+func (bi *blockIndex) numBlocks() int {
+	return (bi.n + scanBlockKeys - 1) / scanBlockKeys
+}
+
+// buildBlockIndex walks the raw key block once, validating it exactly like
+// the eager segment decoder (well-formed varints, strictly positive deltas,
+// no uint64 wrap, no trailing bytes) while recording the block directory.
+// It is the single implementation both the write path and the open path
+// share, and the one the block-iterator fuzz target drives with arbitrary
+// bytes — it must error, never panic.
+func buildBlockIndex(raw []byte, n int) (*blockIndex, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("storage: block index over %d keys: %w", n, binenc.ErrCorrupt)
+	}
+	if len(raw) > math.MaxInt32 {
+		return nil, fmt.Errorf("storage: key block too large for block directory: %w", binenc.ErrCorrupt)
+	}
+	bi := &blockIndex{raw: raw, n: n}
+	nb := bi.numBlocks()
+	bi.first = make([]uint64, 0, nb)
+	bi.off = make([]int32, 0, nb)
+
+	k, m := binary.Uvarint(raw)
+	if m <= 0 {
+		return nil, binenc.ErrCorrupt
+	}
+	off := m
+	bi.first = append(bi.first, k)
+	bi.off = append(bi.off, int32(off))
+	for i := 1; i < n; i++ {
+		d, m := binary.Uvarint(raw[off:])
+		if m <= 0 {
+			return nil, binenc.ErrCorrupt
+		}
+		off += m
+		next := k + d
+		if d < 1 || next < k { // zero delta or uint64 wrap
+			return nil, binenc.ErrCorrupt
+		}
+		k = next
+		if i%scanBlockKeys == 0 {
+			bi.first = append(bi.first, k)
+			bi.off = append(bi.off, int32(off))
+		}
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("storage: %d trailing key-block bytes: %w", len(raw)-off, binenc.ErrCorrupt)
+	}
+	return bi, nil
+}
+
+// decodeBlock materializes block b into dst (reusing its capacity) and
+// returns it. Only valid on an index returned by buildBlockIndex, whose
+// validation makes the mid-stream varint decode infallible.
+func (bi *blockIndex) decodeBlock(b int, dst []uint64) []uint64 {
+	end := (b + 1) * scanBlockKeys
+	if end > bi.n {
+		end = bi.n
+	}
+	count := end - b*scanBlockKeys
+	k := bi.first[b]
+	dst = append(dst[:0], k)
+	off := int(bi.off[b])
+	for i := 1; i < count; i++ {
+		d, m := binary.Uvarint(bi.raw[off:])
+		off += m
+		k += d
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// SegmentCursor streams one segment's keys for the scan subsystem
+// (satisfies internal/scan.Cursor): Seek enters at the position the
+// segment's compiled plan predicts-and-corrects for the sought key — one
+// model inference instead of a binary search — and iteration decodes the
+// delta-varint key block lazily, one scanBlockKeys block at a time, from
+// the block directory. Obtain one from Snapshot.SegmentCursor; Release
+// recycles it (called by the scan iterator's Close).
+type SegmentCursor struct {
+	seg *segment
+	buf []uint64 // decoded current block, cap scanBlockKeys (retained across pool cycles)
+	blk int
+	i   int
+}
+
+var segCursorPool = sync.Pool{New: func() any { return new(SegmentCursor) }}
+
+func getSegmentCursor(seg *segment) *SegmentCursor {
+	c := segCursorPool.Get().(*SegmentCursor)
+	c.seg = seg
+	return c
+}
+
+// Seek positions at the first key >= key via the segment plan's exact
+// lower bound, decoding only the block that position lands in.
+func (c *SegmentCursor) Seek(key uint64) bool {
+	bi := c.seg.blocks
+	pos := c.seg.plan.Lookup(key)
+	if pos >= bi.n {
+		return false
+	}
+	c.blk = pos / scanBlockKeys
+	c.buf = bi.decodeBlock(c.blk, c.buf)
+	c.i = pos % scanBlockKeys
+	return true
+}
+
+// Next advances to the following key, decoding the next block on demand.
+func (c *SegmentCursor) Next() bool {
+	c.i++
+	if c.i < len(c.buf) {
+		return true
+	}
+	c.blk++
+	if c.blk >= c.seg.blocks.numBlocks() {
+		return false
+	}
+	c.buf = c.seg.blocks.decodeBlock(c.blk, c.buf)
+	c.i = 0
+	return true
+}
+
+// Key returns the current key.
+func (c *SegmentCursor) Key() uint64 { return c.buf[c.i] }
+
+// Release drops the segment reference (keeping the block buffer's capacity)
+// and recycles the cursor.
+func (c *SegmentCursor) Release() {
+	c.seg = nil
+	segCursorPool.Put(c)
+}

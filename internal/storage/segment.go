@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"learnedindex/internal/binenc"
 	"learnedindex/internal/bloom"
@@ -44,9 +45,23 @@ type segment struct {
 	// written or opened so cold-start reads execute the flat plan — the
 	// multi-segment read pipeline is fence check → Bloom filter → plan,
 	// pruning before any model runs.
-	plan      *core.Plan
-	filter    *bloom.Filter
+	plan   *core.Plan
+	filter *bloom.Filter
+	// blocks is the lazy-scan directory over the raw delta-varint key
+	// block (blockiter.go): range scans decode keys block-by-block from it
+	// instead of touching the eagerly decoded array. The raw bytes alias
+	// the file image, which is cheap to retain — the key block is the bulk
+	// of a segment and costs ~1–2 bytes per key against the 8 the decoded
+	// array already holds.
+	blocks    *blockIndex
 	diskBytes int64
+
+	// pins counts open scan snapshots holding this segment; zombie marks a
+	// compacted-away segment whose file deletion is deferred until the last
+	// pin releases. Both are guarded by the engine's segMu (pins is atomic
+	// only so Stats-style readers could peek without the lock).
+	pins   atomic.Int32
+	zombie bool
 }
 
 func (s *segment) minKey() uint64 { return s.keys[0] }
@@ -68,16 +83,21 @@ func parseSegmentFileName(name string) (seqLo, seqHi uint64, ok bool) {
 }
 
 // encodeSegment builds the full file image (magic + body + checksum) for
-// sorted unique non-empty keys with their trained index and filter.
-func encodeSegment(keys []uint64, rmi *core.RMI, filter *bloom.Filter) ([]byte, error) {
+// sorted unique non-empty keys with their trained index and filter, and
+// returns the [keyStart, keyEnd) bounds of the delta-varint key block
+// within the image so the write path can build the lazy-scan block
+// directory over the exact bytes it is about to commit.
+func encodeSegment(keys []uint64, rmi *core.RMI, filter *bloom.Filter) (img []byte, keyStart, keyEnd int, err error) {
 	body := binenc.AppendUvarint(nil, uint64(len(keys)))
+	kStart := len(body)
 	body = binenc.AppendUvarint(body, keys[0])
 	for i := 1; i < len(keys); i++ {
 		body = binenc.AppendUvarint(body, keys[i]-keys[i-1])
 	}
+	kEnd := len(body)
 	rb, err := rmi.AppendBinary(nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	body = binenc.AppendBytes(body, rb)
 	body = binenc.AppendBytes(body, filter.AppendBinary(nil))
@@ -85,58 +105,68 @@ func encodeSegment(keys []uint64, rmi *core.RMI, filter *bloom.Filter) ([]byte, 
 	out := make([]byte, 0, len(segMagic)+len(body)+4)
 	out = append(out, segMagic[:]...)
 	out = append(out, body...)
-	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable)), nil
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return out, len(segMagic) + kStart, len(segMagic) + kEnd, nil
 }
 
 // decodeSegment parses a full file image. All errors are reported, never
 // panicked, including on adversarial input: checksum first, then strictly
 // validated key deltas, then the model and filter decoders (which bind the
 // RMI to the decoded key block and cross-check its key count).
-func decodeSegment(data []byte) (keys []uint64, rmi *core.RMI, filter *bloom.Filter, err error) {
+func decodeSegment(data []byte) (keys []uint64, rmi *core.RMI, filter *bloom.Filter, blocks *blockIndex, err error) {
 	if len(data) < len(segMagic)+4 || [8]byte(data[:8]) != segMagic {
-		return nil, nil, nil, fmt.Errorf("storage: bad segment magic: %w", binenc.ErrCorrupt)
+		return nil, nil, nil, nil, fmt.Errorf("storage: bad segment magic: %w", binenc.ErrCorrupt)
 	}
 	body := data[len(segMagic) : len(data)-4]
 	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, crcTable) != sum {
-		return nil, nil, nil, fmt.Errorf("storage: segment checksum mismatch: %w", binenc.ErrCorrupt)
+		return nil, nil, nil, nil, fmt.Errorf("storage: segment checksum mismatch: %w", binenc.ErrCorrupt)
 	}
 	r := binenc.NewReader(body)
 	n := r.Count(len(body), 1)
 	if r.Err() != nil || n < 1 {
-		return nil, nil, nil, binenc.ErrCorrupt
+		return nil, nil, nil, nil, binenc.ErrCorrupt
 	}
+	keyStart := len(body) - r.Remaining()
 	keys = make([]uint64, n)
 	keys[0] = r.Uvarint()
 	for i := 1; i < n; i++ {
 		d := r.Uvarint()
 		k := keys[i-1] + d
 		if d < 1 || k < keys[i-1] { // zero delta or uint64 wrap
-			return nil, nil, nil, binenc.ErrCorrupt
+			return nil, nil, nil, nil, binenc.ErrCorrupt
 		}
 		keys[i] = k
 	}
 	if r.Err() != nil {
-		return nil, nil, nil, r.Err()
+		return nil, nil, nil, nil, r.Err()
 	}
+	keyEnd := len(body) - r.Remaining()
 	rmi, err = core.DecodeRMI(r.Bytes(), keys)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	filter, err = bloom.Decode(binenc.NewReader(r.Bytes()))
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	if r.Err() != nil {
-		return nil, nil, nil, r.Err()
+		return nil, nil, nil, nil, r.Err()
 	}
 	// Exact decode, like WAL records: trailing bytes mean the file was
 	// written by something newer or buggier than this decoder — reject it
 	// at open rather than serving it partially.
 	if r.Remaining() != 0 {
-		return nil, nil, nil, fmt.Errorf("storage: %d trailing bytes after segment body: %w", r.Remaining(), binenc.ErrCorrupt)
+		return nil, nil, nil, nil, fmt.Errorf("storage: %d trailing bytes after segment body: %w", r.Remaining(), binenc.ErrCorrupt)
 	}
-	return keys, rmi, filter, nil
+	// The lazy-scan directory over the exact key-block bytes: its
+	// validating pass mirrors the loop above, so success here is
+	// guaranteed for anything the eager decode accepted.
+	blocks, err = buildBlockIndex(body[keyStart:keyEnd], n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return keys, rmi, filter, blocks, nil
 }
 
 // writeSegment trains an RMI and Bloom filter over keys (sorted, unique,
@@ -151,9 +181,13 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 	for _, k := range keys {
 		filter.AddUint64(k)
 	}
-	img, err := encodeSegment(keys, rmi, filter)
+	img, keyStart, keyEnd, err := encodeSegment(keys, rmi, filter)
 	if err != nil {
 		return nil, err
+	}
+	blocks, err := buildBlockIndex(img[keyStart:keyEnd], len(keys))
+	if err != nil {
+		return nil, err // unreachable for our own encoding; defensive
 	}
 	final := filepath.Join(dir, segmentFileName(seqLo, seqHi))
 	tmp := final + ".tmp"
@@ -169,7 +203,8 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 	}
 	return &segment{
 		seqLo: seqLo, seqHi: seqHi, path: final,
-		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter, diskBytes: int64(len(img)),
+		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter,
+		blocks: blocks, diskBytes: int64(len(img)),
 	}, nil
 }
 
@@ -179,13 +214,14 @@ func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys, rmi, filter, err := decodeSegment(data)
+	keys, rmi, filter, blocks, err := decodeSegment(data)
 	if err != nil {
 		return nil, fmt.Errorf("storage: segment %s: %w", filepath.Base(path), err)
 	}
 	return &segment{
 		seqLo: seqLo, seqHi: seqHi, path: path,
-		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter, diskBytes: int64(len(data)),
+		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter,
+		blocks: blocks, diskBytes: int64(len(data)),
 	}, nil
 }
 

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"os"
+	"slices"
+	"sync"
+
+	"learnedindex/internal/scan"
+	"learnedindex/internal/search"
+)
+
+// Snapshot is a pinned point-in-time view of the engine for range scans
+// and learned counts: the segment list as of acquisition plus a sorted,
+// deduplicated copy of every key that was appended/committed but not yet
+// flushed (the WAL-backed delta, including keys frozen by an in-progress
+// Flush). While a Snapshot is held, compaction may replace segments in the
+// live list but will not delete a pinned segment's file — deletion is
+// deferred until the last pin releases — so the on-disk state backing the
+// view outlives the scan no matter how many merges land mid-stream.
+//
+// Acquisition order is what makes the view loss-free: the unflushed delta
+// is copied BEFORE the segment list is loaded, so a key migrating from the
+// WAL into a segment mid-acquisition appears in at least one of the two
+// (and dedup handles both). A Snapshot is immutable and safe for
+// concurrent readers; Release it exactly once.
+type Snapshot struct {
+	eng     *Engine
+	segs    []*segment
+	pending []uint64 // sorted, deduplicated unflushed keys
+}
+
+var snapshotPool = sync.Pool{New: func() any { return new(Snapshot) }}
+
+// AcquireSnapshot pins the current served state plus the unflushed delta.
+// Pair every acquisition with exactly one Release.
+func (e *Engine) AcquireSnapshot() *Snapshot {
+	return e.AcquireSnapshotRange(0, ^uint64(0))
+}
+
+// AcquireSnapshotRange is AcquireSnapshot restricted to the scan range
+// [lo, hi): the unflushed delta copy keeps only in-range keys, so the
+// capture's sort cost scales with delta∩range instead of the whole buffer
+// (the segment list is shared pointers either way). Keys >= hi are
+// invisible to the snapshot — the scan iterator's exclusive upper bound,
+// applied at capture.
+func (e *Engine) AcquireSnapshotRange(lo, hi uint64) *Snapshot {
+	sn := snapshotPool.Get().(*Snapshot)
+	sn.eng = e
+
+	// Delta first (see the type comment for why this order is loss-free).
+	e.mu.Lock()
+	sn.pending = scan.AppendInRange(sn.pending[:0], e.pending, lo, hi)
+	sn.pending = scan.AppendInRange(sn.pending, e.flushing, lo, hi)
+	e.mu.Unlock()
+	slices.Sort(sn.pending)
+	sn.pending = slices.Compact(sn.pending)
+
+	// Pin under segMu: publication and retirement both hold it, so a
+	// segment cannot be retired between the list load and its pin.
+	e.segMu.Lock()
+	segs := *e.segs.Load()
+	for _, s := range segs {
+		s.pins.Add(1)
+	}
+	sn.segs = append(sn.segs[:0], segs...)
+	e.segMu.Unlock()
+	return sn
+}
+
+// Release unpins the snapshot's segments — deleting any compacted-away
+// segment file whose last pin this was — and recycles the snapshot. The
+// unlink syscalls run outside segMu so releases never stall concurrent
+// snapshot acquisitions on filesystem latency.
+func (sn *Snapshot) Release() {
+	e := sn.eng
+	if e == nil {
+		return // already released
+	}
+	sn.eng = nil
+	var sweep []string
+	e.segMu.Lock()
+	for i, s := range sn.segs {
+		if s.pins.Add(-1) == 0 && s.zombie {
+			s.zombie = false // claimed under segMu: exactly one releaser unlinks
+			sweep = append(sweep, s.path)
+		}
+		sn.segs[i] = nil
+	}
+	e.segMu.Unlock()
+	for _, p := range sweep {
+		os.Remove(p)
+	}
+	sn.segs = sn.segs[:0]
+	snapshotPool.Put(sn)
+}
+
+// retireLocked marks a compacted-away segment for deletion and returns the
+// path the caller must unlink (outside the lock) when no scan pins it;
+// pinned segments become zombies deleted by the releasing scan. Called
+// with segMu held, after the replacement list is published. Retired
+// filenames are never minted again (sequence ranges only grow), so the
+// deferred unlink cannot collide with a fresh segment.
+func (e *Engine) retireLocked(s *segment) string {
+	if s.pins.Load() == 0 {
+		return s.path
+	}
+	s.zombie = true
+	return ""
+}
+
+// Pending returns the snapshot's sorted, deduplicated unflushed keys (the
+// WAL-backed delta layer of a scan). Shared, read-only.
+func (sn *Snapshot) Pending() []uint64 { return sn.pending }
+
+// NumSegments returns how many segments the snapshot pinned.
+func (sn *Snapshot) NumSegments() int { return len(sn.segs) }
+
+// SegmentCursor returns a pooled lazy-decode cursor over segment i when the
+// segment's [min, max] key fence overlaps [lo, hi), and nil otherwise — the
+// fence check is the scan subsystem's data skipping: a pruned segment
+// contributes nothing and costs two comparisons. Cursors are released by
+// the scan iterator's Close.
+func (sn *Snapshot) SegmentCursor(i int, lo, hi uint64) *SegmentCursor {
+	s := sn.segs[i]
+	if hi <= s.minKey() || lo > s.maxKey() {
+		return nil
+	}
+	return getSegmentCursor(s)
+}
+
+// Contains reports whether key is in one of the snapshot's segments
+// (fence → Bloom → plan, newest segment first). The pending delta is NOT
+// consulted — this is the segment-membership primitive CountRange uses to
+// correct for delta keys already served.
+func (sn *Snapshot) Contains(key uint64) bool {
+	return containsIn(sn.segs, key)
+}
+
+// CountRange returns the exact number of distinct keys k in [lo, hi)
+// across the snapshot: segments answer by pure position arithmetic — at
+// most two compiled-plan lookups each, zero iteration, with the min/max
+// fence resolving out-of-range segments in two comparisons — and the
+// unflushed delta contributes an exact correction (each in-range delta key
+// counts only if no segment already serves it). Segments hold disjoint key
+// sets, so the per-segment sums compose exactly.
+func (sn *Snapshot) CountRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	total := 0
+	for _, s := range sn.segs {
+		if hi <= s.minKey() || lo > s.maxKey() {
+			continue
+		}
+		a := 0
+		if lo > s.minKey() {
+			a = s.plan.Lookup(lo)
+		}
+		b := len(s.keys)
+		if hi <= s.maxKey() {
+			b = s.plan.Lookup(hi)
+		}
+		total += b - a
+	}
+	p := sn.pending
+	for i := search.Binary(p, lo, 0, len(p)); i < len(p) && p[i] < hi; i++ {
+		if !containsIn(sn.segs, p[i]) {
+			total++
+		}
+	}
+	return total
+}
+
+// CountRange is Snapshot.CountRange over a throwaway range-restricted
+// snapshot: the engine-level learned COUNT for callers that don't hold a
+// scan open.
+func (e *Engine) CountRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	sn := e.AcquireSnapshotRange(lo, hi)
+	defer sn.Release()
+	return sn.CountRange(lo, hi)
+}

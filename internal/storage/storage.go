@@ -115,7 +115,12 @@ type Engine struct {
 	wal     *wal
 	walSeq  uint64
 	pending []uint64
-	err     error
+	// flushing holds the pending keys frozen by an in-progress Flush, from
+	// the freeze until the trained segment is published. Scan snapshots copy
+	// pending+flushing (before loading the segment list), so a key migrating
+	// through a flush is visible in at least one layer at every instant.
+	flushing []uint64
+	err      error
 
 	// Group-commit state, guarded by mu. appendSeq counts accepted write
 	// calls (Append, AppendBatch, Commit enqueue); durableSeq is the
@@ -523,6 +528,7 @@ func (e *Engine) Flush() error {
 	}
 	snap := e.pending
 	e.pending = getPendingBuf()
+	e.flushing = snap // scan-visible while the segment trains off-lock
 	frozen := e.wal
 	// The frozen log must be durable before the ack plane moves past it:
 	// a Sync arriving after the freeze fsyncs only the new active log, so
@@ -548,12 +554,13 @@ func (e *Engine) Flush() error {
 	e.walSeq++
 	e.wal = nw
 	e.mu.Unlock()
-	defer putPendingBuf(snap)
 
 	if err := e.materialize(snap); err != nil {
 		// Keep the frozen log file on disk — it is the only durable home
 		// of snap now — but release its descriptor; the engine is failed
 		// (sticky error) and recovery replays the file at the next Open.
+		// e.flushing stays set (and snap stays out of the pool): the acked
+		// keys remain visible to scans on the failed engine.
 		frozen.close()
 		e.mu.Lock()
 		if e.err == nil {
@@ -564,6 +571,12 @@ func (e *Engine) Flush() error {
 	}
 	frozen.close()
 	os.Remove(frozen.path)
+	// The keys are served by the published segment now; only after the
+	// scan-visible flushing reference is dropped may the buffer recycle.
+	e.mu.Lock()
+	e.flushing = nil
+	e.mu.Unlock()
+	putPendingBuf(snap)
 	e.flushes.Add(1)
 	e.kickCompactor()
 	return nil
@@ -895,11 +908,22 @@ func (e *Engine) compactOnce() (bool, error) {
 	next := append(cur[:bestStart:bestStart], seg)
 	next = append(next, cur[bestStart+bestLen:]...)
 	e.segs.Store(&next)
-	e.segMu.Unlock()
-	e.compactions.Add(1)
+	// Retire the inputs under the same lock that pinned them — the
+	// pin-or-zombie decision must not race a snapshot acquisition — but
+	// issue the unlink syscalls after unlocking so scan opens/closes never
+	// stall on filesystem latency (a leftover is GC'd by containment at
+	// next open either way).
+	var sweep []string
 	for _, s := range run {
-		os.Remove(s.path) // a leftover is GC'd by containment at next open
+		if p := e.retireLocked(s); p != "" {
+			sweep = append(sweep, p)
+		}
 	}
+	e.segMu.Unlock()
+	for _, p := range sweep {
+		os.Remove(p)
+	}
+	e.compactions.Add(1)
 	return true, nil
 }
 

@@ -4,12 +4,26 @@
 // hash functions for point indexes, and learned Bloom filters for
 // existence indexes.
 //
-// This root package is the public API: thin aliases over the
-// implementation in internal/core, so downstream users import one package:
+// This root package is the public API: thin aliases over the internal
+// implementation, so downstream users import one package. The single-index
+// surface answers in *positions* over its sorted key array:
 //
 //	idx := learnedindex.New(sortedKeys, learnedindex.DefaultConfig(10_000))
-//	pos := idx.Lookup(key)            // lower-bound semantics
-//	lo, hi := idx.RangeScan(a, b)     // positions of keys in [a, b)
+//	pos := idx.Lookup(key)            // lower bound: index of first key >= key
+//	lo, hi := idx.RangeScan(a, b)     // position range [lo, hi) of keys in [a, b)
+//	// the keys themselves are sortedKeys[lo:hi] — position arithmetic only
+//
+// The concurrent Store adds the streaming range-query surface on top: Scan
+// merges every layer a key can live in (insert buffers, shard snapshots,
+// on-disk segments) into one ascending deduplicated stream, entered at the
+// model-predicted position, and CountRange answers a learned COUNT by pure
+// position arithmetic:
+//
+//	st := learnedindex.NewStore(keys, cfg, learnedindex.StoreOptions{})
+//	it := st.Scan(a, b)               // snapshot-consistent keys in [a, b)
+//	for it.Next() { use(it.Key()) }
+//	it.Close()
+//	n := st.CountRange(a, b)          // exact, zero iteration
 //
 // See the examples/ directory for runnable scenarios and cmd/lix-bench for
 // the paper's full evaluation suite.
@@ -17,6 +31,7 @@ package learnedindex
 
 import (
 	"learnedindex/internal/core"
+	"learnedindex/internal/scan"
 	"learnedindex/internal/serve"
 	"learnedindex/internal/storage"
 )
@@ -63,6 +78,9 @@ type (
 	// with a Sync durability barrier and a group-committed InsertDurable
 	// (concurrent durable writers share one WAL frame and one fsync),
 	// learned segment files, crash recovery, and background compaction.
+	// Scan/ScanBatch stream any key range snapshot-consistently (see
+	// Iterator) and CountRange answers exact range counts by position
+	// arithmetic — two compiled-plan lookups per layer, zero iteration.
 	Store = serve.Store
 	// StoreOptions sets the shard count and per-shard merge threshold,
 	// and — via Dir — switches the Store to the persistent storage engine.
@@ -70,6 +88,15 @@ type (
 	// StorageStats reports a persistent Store's disk state: segments,
 	// bytes, WAL size, and how many models were deserialized vs trained.
 	StorageStats = storage.Stats
+
+	// Iterator streams a Store.Scan: the snapshot-consistent ascending
+	// deduplicated union of every layer (insert buffers, shard snapshots,
+	// on-disk segments) over [lo, hi), merged by a k-way loser tree with
+	// each source entered at its model-predicted position. Drive it with
+	// Next/Key (or NextBatch), reposition with Seek, and always Close it —
+	// Close releases pooled state and, on a persistent Store, unpins the
+	// storage snapshot so compaction can reclaim superseded segment files.
+	Iterator = scan.Iterator
 )
 
 // Point index (§4): learned hash functions.

@@ -1,0 +1,69 @@
+package learnedindex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"learnedindex"
+	"learnedindex/internal/data"
+)
+
+// Scan-subsystem benchmarks: the streaming loser-tree merge over the
+// sharded store (with a live buffered-delta layer), across range widths,
+// plus the learned COUNT against iterate-and-count. CI runs these at
+// -benchtime=100x as a smoke test; BENCH_scan.json carries the measured
+// claims.
+
+func scanStore(b *testing.B) (*learnedindex.Store, data.Keys) {
+	load()
+	st := learnedindex.NewStore(dLogn, learnedindex.Config{},
+		learnedindex.StoreOptions{Shards: 8, MergeThreshold: 1 << 30})
+	b.Cleanup(func() { st.Close() })
+	// A buffered delta layer the merge must carry.
+	for _, k := range dProbes["Lognormal"][:4096] {
+		st.Insert(k + 1)
+	}
+	return st, dLogn
+}
+
+func BenchmarkStoreScan(b *testing.B) {
+	for _, width := range []int{1_000, 64_000} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			st, keys := scanStore(b)
+			starts := dProbes["Lognormal"]
+			buf := make([]uint64, 0, width+4096)
+			b.ResetTimer()
+			produced := 0
+			for i := 0; i < b.N; i++ {
+				lo := starts[i%len(starts)]
+				hi := scanHi(keys, lo, width)
+				buf = st.ScanBatch(lo, hi, buf[:0])
+				produced += len(buf)
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(produced)/float64(b.N), "keys/scan")
+			}
+		})
+	}
+}
+
+func BenchmarkStoreCountRange(b *testing.B) {
+	st, keys := scanStore(b)
+	starts := dProbes["Lognormal"]
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		lo := starts[i%len(starts)]
+		sink += st.CountRange(lo, scanHi(keys, lo, 64_000))
+	}
+	_ = sink
+}
+
+func scanHi(keys data.Keys, lo uint64, width int) uint64 {
+	p := keys.LowerBound(lo) + width
+	if p >= len(keys) {
+		return keys[len(keys)-1] + 1
+	}
+	return keys[p]
+}
