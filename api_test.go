@@ -279,3 +279,78 @@ func TestPublicAPIScanPersistent(t *testing.T) {
 		t.Fatalf("post-reopen scan = %d keys, want %d", len(got), len(keys))
 	}
 }
+
+// TestPublicAPIStringStore drives the string-keyed facade end-to-end:
+// codec helpers, the in-memory string store, and the persistent store
+// surviving a reopen with scans in codec order.
+func TestPublicAPIStringStore(t *testing.T) {
+	if learnedindex.KeyPrefix("abc") >= learnedindex.KeyPrefix("abd") {
+		t.Fatal("KeyPrefix is not order-preserving")
+	}
+	ck := learnedindex.CompositeKey("user", "42")
+	parts, err := learnedindex.SplitCompositeKey(ck)
+	if err != nil || len(parts) != 2 || parts[0] != "user" || parts[1] != "42" {
+		t.Fatalf("composite round-trip: %q, %v", parts, err)
+	}
+
+	urls := []string{
+		"https://a.example/1", "https://a.example/2", "https://b.example/1",
+		"https://c.example/9", "k1", "k2",
+	}
+	st := learnedindex.NewStringStore(urls, learnedindex.Config{}, learnedindex.StoreOptions{Shards: 2})
+	st.InsertString("https://b.example/0")
+	st.Flush()
+	if !st.ContainsString("https://b.example/0") || st.ContainsString("nope") {
+		t.Fatal("ContainsString broken")
+	}
+	if got := st.LookupString("https://b.example/1"); got != 3 {
+		t.Fatalf("LookupString = %d, want 3", got)
+	}
+	var it *learnedindex.StringIterator = st.ScanString("https://a.", "https://c.")
+	var scanned []string
+	for it.Next() {
+		scanned = append(scanned, it.Key())
+	}
+	it.Close()
+	if len(scanned) != 4 || scanned[0] != "https://a.example/1" || scanned[3] != "https://b.example/1" {
+		t.Fatalf("ScanString = %q", scanned)
+	}
+	if n := st.CountRangeString("https://a.", "https://c."); n != 4 {
+		t.Fatalf("CountRangeString = %d, want 4", n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistent round trip through version-2 segment files.
+	dir := t.TempDir()
+	ps, err := learnedindex.OpenStringStore(urls, learnedindex.Config{}, learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.InsertDurableString("zz-last"); err != nil {
+		t.Fatal(err)
+	}
+	ps.Flush()
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := learnedindex.OpenStringStore(nil, learnedindex.Config{}, learnedindex.StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(urls)+1 || !re.ContainsString("zz-last") {
+		t.Fatalf("reopen lost keys: Len=%d", re.Len())
+	}
+	got := re.ScanBatchString("a", "zzzz", nil)
+	if len(got) != len(urls)+1 {
+		t.Fatalf("post-reopen scan = %d keys", len(got))
+	}
+
+	// Single-index surface: NewStringIndex over the same keys.
+	idx := learnedindex.NewStringIndex(urls, learnedindex.Config{})
+	if !idx.Contains("k1") || idx.Contains("k3") {
+		t.Fatal("StringIndex.Contains broken")
+	}
+}

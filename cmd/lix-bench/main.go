@@ -6,10 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, scan, all (everything except the GRU-training
-// path of figure10; add -gru to include it). serve, storage, compiled,
-// searchshootout, writepath, and scan are this repo's extensions beyond
-// the paper: serve is
+// searchshootout, writepath, scan, stringkeys, all (everything except the
+// GRU-training path of figure10; add -gru to include it). serve, storage,
+// compiled, searchshootout, writepath, scan, and stringkeys are this
+// repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
 // on-disk lookup throughput, and cold-open latency vs the in-memory RMI
@@ -21,11 +21,29 @@
 // committers, parallel-training wall time vs worker count, and the
 // concurrent-merge flush barrier; scan is the streaming range-scan
 // subsystem — loser-tree merge throughput vs range width, model-biased vs
-// binary-search scan entry, and learned COUNT vs iterate-and-count.
+// binary-search scan entry, and learned COUNT vs iterate-and-count;
+// stringkeys is the order-preserving key codec end to end — string
+// membership, lower-bound lookup, range scans, and learned COUNT through
+// core.StringIndex and the string-keyed Store vs map[string]struct{} and
+// sorted-slice + sort.SearchStrings baselines.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
 // disables), so the repo's perf trajectory is diffable across PRs.
+//
+// The special experiment name "diff" compares instead of measuring:
+//
+//	lix-bench diff <priorDir> <freshDir>
+//
+// matches every BENCH_*.json in freshDir against its namesake in priorDir
+// config-by-config and exits non-zero if any ns/op slowdown exceeds
+// -regress percent (default 25) — the CI guard over the checked-in runs.
+// Both sides should be min-of-N merges:
+//
+//	lix-bench bestof <outDir> <runDir>...
+//
+// keeps, per config, the fastest row seen across the run dirs (the floor
+// is the measurement; everything above it is scheduler noise).
 //
 // Flags scale the run; defaults are laptop-sized with the paper's ratios
 // preserved (see DESIGN.md §3).
@@ -37,6 +55,7 @@ import (
 	"os"
 	"time"
 
+	"learnedindex/internal/bench"
 	"learnedindex/internal/experiments"
 )
 
@@ -50,6 +69,7 @@ func main() {
 	gru := flag.Bool("gru", false, "train the GRU series in figure10 (slow)")
 	dir := flag.String("dir", os.TempDir(), "directory for the storage experiment's segment files")
 	jsonDir := flag.String("jsondir", ".", "directory for machine-readable BENCH_<experiment>.json results (empty disables)")
+	regress := flag.Float64("regress", 25, "diff mode: flag ns/op slowdowns above this percent")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -61,12 +81,52 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|all>...")
+		fmt.Fprintln(os.Stderr, "       lix-bench [-regress pct] diff <priorDir> <freshDir>")
 		os.Exit(2)
+	}
+	if args[0] == "diff" {
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: lix-bench [-regress pct] diff <priorDir> <freshDir>")
+			os.Exit(2)
+		}
+		diffRuns(args[1], args[2], *regress)
+		return
+	}
+	if args[0] == "bestof" {
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: lix-bench bestof <outDir> <runDir>...")
+			os.Exit(2)
+		}
+		paths, err := bench.WriteBest(args[1], args[2:]...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, p := range paths {
+			fmt.Printf("wrote %s\n", p)
+		}
+		return
 	}
 	for _, exp := range args {
 		run(exp, opts, *gru)
 	}
+}
+
+// diffRuns compares freshDir's BENCH_*.json against priorDir's and exits
+// non-zero when any config's ns/op regressed past the threshold.
+func diffRuns(priorDir, freshDir string, regressPct float64) {
+	rows, err := bench.DiffDirs(priorDir, freshDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	regressions := bench.RenderDiff(os.Stdout, rows, regressPct)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "%d config(s) regressed more than %.0f%%\n", len(regressions), regressPct)
+		os.Exit(1)
+	}
+	fmt.Printf("[diff: %d configs compared, none regressed more than %.0f%%]\n", len(rows), regressPct)
 }
 
 func run(exp string, opts experiments.Options, gru bool) {
@@ -104,8 +164,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.WritePath(opts)
 	case "scan":
 		experiments.Scan(opts)
+	case "stringkeys":
+		experiments.StringKeys(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys"} {
 			run(e, opts, gru)
 		}
 		return

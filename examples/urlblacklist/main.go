@@ -3,10 +3,21 @@
 // minimizing memory and false positives. Builds a learned Bloom filter
 // (classifier + overflow filter) and the Appendix E model-hash variant, and
 // compares both against a standard Bloom filter.
+//
+// The second half layers the exact tier on top: the same blacklist in a
+// string-keyed Store over the order-preserving key codec. The filters
+// answer "definitely not listed / maybe listed" from kilobytes; the store
+// resolves the maybes exactly, and — because codec order is byte order —
+// answers the queries no filter can: stream every listed URL under a
+// domain prefix, or count them without iterating.
 package main
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+
+	"learnedindex"
 
 	"learnedindex/internal/bloom"
 	"learnedindex/internal/core"
@@ -62,5 +73,51 @@ func main() {
 			}
 		}
 		fmt.Println("  (all blacklisted URLs still caught — zero false negatives)")
+	}
+
+	// --- The exact tier: the same blacklist as a string-keyed Store ----
+	// The filters above answer from kilobytes but can only say "maybe".
+	// The codec-backed store holds the exact list: resolve the maybes,
+	// and serve the ordered queries no existence index can — every listed
+	// URL under a prefix, streamed or counted in codec (byte) order.
+	st := learnedindex.NewStringStore(corpus.Keys, learnedindex.Config{}, learnedindex.StoreOptions{})
+	defer st.Close()
+
+	fmt.Printf("\nexact tier: string-keyed store over %d listed URLs\n", st.Len())
+	exact, falsePos := 0, 0
+	lb := core.NewLearnedBloom(model, corpus.Keys, corpus.ValidNeg, 0.01)
+	for _, s := range corpus.TestNeg {
+		if lb.MayContain(s) { // filter says maybe — resolve exactly
+			falsePos++
+			if st.ContainsString(s) {
+				exact++
+			}
+		}
+	}
+	fmt.Printf("  %d filter maybes on benign traffic, %d confirmed listed after exact lookup\n",
+		falsePos, exact)
+
+	// A takedown sweep: everything listed under one phishing domain. The
+	// upper bound is the prefix's byte successor, so the scan is exactly
+	// "keys with this prefix" — in order, without touching the rest.
+	sorted := append([]string(nil), corpus.Keys...)
+	sort.Strings(sorted)
+	sample := sorted[len(sorted)/2]
+	prefix := sample
+	if i := strings.Index(strings.TrimPrefix(sample, "http://"), "."); i >= 0 {
+		prefix = sample[:len("http://")+i+1] // scheme + first domain label
+	}
+	hi := prefix[:len(prefix)-1] + string(prefix[len(prefix)-1]+1)
+	n := st.CountRangeString(prefix, hi) // learned COUNT: no iteration
+	fmt.Printf("  %d listed URLs under %s (counted by position arithmetic):\n", n, prefix)
+	it := st.ScanString(prefix, hi)
+	shown := 0
+	for it.Next() && shown < 3 {
+		fmt.Printf("    %s\n", it.Key())
+		shown++
+	}
+	it.Close()
+	if n > shown {
+		fmt.Printf("    ... and %d more\n", n-shown)
 	}
 }

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DiffRow is one config compared across two runs of the same experiment.
+type DiffRow struct {
+	Experiment string
+	Config     string
+	PriorNs    float64
+	FreshNs    float64
+	// DeltaPct is the ns/op change in percent; positive means the fresh
+	// run is slower (a regression candidate).
+	DeltaPct float64
+}
+
+// ReadReport parses one BENCH_<experiment>.json file.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// DiffReports compares two runs of the same experiment config-by-config.
+// Configs present in only one run are skipped — a renamed or new config is
+// not a perf signal.
+func DiffReports(prior, fresh *Report) []DiffRow {
+	prev := make(map[string]float64, len(prior.Rows))
+	for _, row := range prior.Rows {
+		prev[row.Config] = row.NsPerOp
+	}
+	var out []DiffRow
+	for _, row := range fresh.Rows {
+		p, ok := prev[row.Config]
+		if !ok || p <= 0 || row.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, DiffRow{
+			Experiment: fresh.Experiment,
+			Config:     row.Config,
+			PriorNs:    p,
+			FreshNs:    row.NsPerOp,
+			DeltaPct:   100 * (row.NsPerOp - p) / p,
+		})
+	}
+	return out
+}
+
+// DiffDirs compares every BENCH_*.json in freshDir against its namesake in
+// priorDir and returns all matched rows in experiment/config order. Fresh
+// files with no checked-in prior are skipped (first run of a new
+// experiment); a prior with no fresh counterpart is likewise not an error —
+// the caller chooses which experiments to regenerate.
+func DiffDirs(priorDir, freshDir string) ([]DiffRow, error) {
+	freshPaths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(freshPaths)
+	var all []DiffRow
+	matched := 0
+	for _, fp := range freshPaths {
+		pp := filepath.Join(priorDir, filepath.Base(fp))
+		if _, err := os.Stat(pp); err != nil {
+			continue
+		}
+		fresh, err := ReadReport(fp)
+		if err != nil {
+			return nil, err
+		}
+		prior, err := ReadReport(pp)
+		if err != nil {
+			return nil, err
+		}
+		matched++
+		all = append(all, DiffReports(prior, fresh)...)
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("bench: no BENCH_*.json in %s has a prior in %s", freshDir, priorDir)
+	}
+	return all, nil
+}
+
+// MergeBest reads every BENCH_*.json across run dirs and merges them per
+// experiment, keeping for each config the row with the minimum ns/op seen
+// across runs — the noise-robust estimator for regression gating (the true
+// cost is the floor; everything above it is scheduler and cache noise).
+// Configs missing from some runs keep their best row from the runs that
+// have them.
+func MergeBest(dirs ...string) (map[string]*Report, error) {
+	merged := map[string]*Report{}
+	for _, dir := range dirs {
+		paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			r, err := ReadReport(p)
+			if err != nil {
+				return nil, err
+			}
+			m, ok := merged[r.Experiment]
+			if !ok {
+				cp := *r
+				cp.Rows = append([]ReportRow(nil), r.Rows...)
+				merged[r.Experiment] = &cp
+				continue
+			}
+			for _, row := range r.Rows {
+				at := -1
+				for i := range m.Rows {
+					if m.Rows[i].Config == row.Config {
+						at = i
+						break
+					}
+				}
+				switch {
+				case at < 0:
+					m.Rows = append(m.Rows, row)
+				case row.NsPerOp > 0 && row.NsPerOp < m.Rows[at].NsPerOp:
+					m.Rows[at] = row
+				}
+			}
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("bench: no BENCH_*.json found in %v", dirs)
+	}
+	return merged, nil
+}
+
+// WriteBest merges runDirs via MergeBest and writes one BENCH_*.json per
+// experiment to outDir, returning the written paths.
+func WriteBest(outDir string, runDirs ...string) ([]string, error) {
+	merged, err := MergeBest(runDirs...)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var paths []string
+	for _, name := range names {
+		p, err := merged[name].WriteJSON(outDir)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// RenderDiff writes the comparison as a table and returns the rows whose
+// slowdown exceeds regressPct. Improvements never flag.
+func RenderDiff(w io.Writer, rows []DiffRow, regressPct float64) []DiffRow {
+	var regressions []DiffRow
+	t := &Table{
+		Title:   fmt.Sprintf("Benchmark diff vs checked-in prior (flagging > +%.0f%%)", regressPct),
+		Headers: []string{"Experiment", "Config", "prior ns/op", "fresh ns/op", "delta"},
+	}
+	for _, r := range rows {
+		mark := ""
+		if r.DeltaPct > regressPct {
+			mark = "  << REGRESSION"
+			regressions = append(regressions, r)
+		}
+		t.Add(r.Experiment, r.Config,
+			fmt.Sprintf("%.0f", r.PriorNs), fmt.Sprintf("%.0f", r.FreshNs),
+			fmt.Sprintf("%+.1f%%%s", r.DeltaPct, mark))
+	}
+	if w != nil {
+		t.Render(w)
+	}
+	return regressions
+}

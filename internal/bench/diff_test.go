@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, exp string, rows ...ReportRow) {
+	t.Helper()
+	r := &Report{Experiment: exp, N: 100, Rows: rows}
+	if _, err := r.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffDirsFlagsRegressions(t *testing.T) {
+	prior, fresh := t.TempDir(), t.TempDir()
+	writeReport(t, prior, "alpha",
+		ReportRow{Config: "a", NsPerOp: 100},
+		ReportRow{Config: "b", NsPerOp: 100},
+		ReportRow{Config: "gone", NsPerOp: 100})
+	writeReport(t, fresh, "alpha",
+		ReportRow{Config: "a", NsPerOp: 130}, // +30%: regression
+		ReportRow{Config: "b", NsPerOp: 110}, // +10%: within threshold
+		ReportRow{Config: "new", NsPerOp: 50})
+	// A fresh experiment with no prior is skipped, not an error.
+	writeReport(t, fresh, "beta", ReportRow{Config: "x", NsPerOp: 1})
+
+	rows, err := DiffDirs(prior, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // "gone" and "new" don't match, beta has no prior
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+	var out bytes.Buffer
+	regs := RenderDiff(&out, rows, 25)
+	if len(regs) != 1 || regs[0].Config != "a" {
+		t.Fatalf("regressions = %+v, want just config a", regs)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("rendered diff lacks the REGRESSION marker:\n%s", out.String())
+	}
+	// A 30% improvement never flags.
+	writeReport(t, fresh, "alpha",
+		ReportRow{Config: "a", NsPerOp: 70},
+		ReportRow{Config: "b", NsPerOp: 100})
+	rows, err = DiffDirs(prior, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := RenderDiff(nil, rows, 25); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestDiffDirsNoMatches(t *testing.T) {
+	if _, err := DiffDirs(t.TempDir(), t.TempDir()); err == nil {
+		t.Fatal("expected an error when no BENCH files match")
+	}
+}
+
+func TestMergeBestTakesPerConfigMin(t *testing.T) {
+	r1, r2, out := t.TempDir(), t.TempDir(), t.TempDir()
+	writeReport(t, r1, "alpha",
+		ReportRow{Config: "a", NsPerOp: 90, Extra: map[string]float64{"run": 1}},
+		ReportRow{Config: "b", NsPerOp: 200})
+	writeReport(t, r2, "alpha",
+		ReportRow{Config: "a", NsPerOp: 110},
+		ReportRow{Config: "b", NsPerOp: 150},
+		ReportRow{Config: "c", NsPerOp: 40}) // only in run 2: kept
+
+	paths, err := WriteBest(out, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_alpha.json" {
+		t.Fatalf("paths = %v", paths)
+	}
+	merged, err := ReadReport(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"a": 90, "b": 150, "c": 40}
+	if len(merged.Rows) != len(want) {
+		t.Fatalf("rows = %+v", merged.Rows)
+	}
+	for _, row := range merged.Rows {
+		if row.NsPerOp != want[row.Config] {
+			t.Fatalf("config %s: ns=%v, want %v", row.Config, row.NsPerOp, want[row.Config])
+		}
+		if row.Config == "a" && row.Extra["run"] != 1 {
+			t.Fatalf("min row for a lost its extras: %+v", row)
+		}
+	}
+}

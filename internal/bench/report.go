@@ -42,6 +42,9 @@ func (r *Report) WriteJSON(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
 	path := filepath.Join(dir, "BENCH_"+r.Experiment+".json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", err

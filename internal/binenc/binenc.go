@@ -162,6 +162,22 @@ func (r *Reader) F64s(max int) []float64 {
 	return fs
 }
 
+// Take reads exactly n raw bytes (no length prefix), sharing the
+// underlying array. Negative n or n beyond the remaining bytes latches
+// the corrupt-input error.
+func (r *Reader) Take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail()
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
 // Bytes reads a length-prefixed byte block, sharing the underlying array.
 func (r *Reader) Bytes() []byte {
 	n := r.Count(len(r.b), 1)

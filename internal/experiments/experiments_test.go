@@ -331,3 +331,33 @@ func TestAppendixERuns(t *testing.T) {
 		t.Fatal("table not rendered")
 	}
 }
+
+func TestStringKeysShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := StringKeys(o)
+	byConfig := map[string]StringKeysRow{}
+	for _, r := range rows {
+		if r.PerOp <= 0 {
+			t.Errorf("%s: no measurement", r.Config)
+		}
+		byConfig[r.Config] = r
+	}
+	for _, want := range []string{
+		"contains/map", "contains/stringindex", "contains/store",
+		"lookup/sorted-slice", "lookup/stringindex", "lookup/store",
+		"scan/sorted-slice-copy", "scan/store",
+		"count/iterate", "count/learned",
+	} {
+		if _, ok := byConfig[want]; !ok {
+			t.Errorf("missing config %s", want)
+		}
+	}
+	// The structural claim that holds at any scale: learned COUNT answers
+	// by position arithmetic, iterate-and-count streams the whole range.
+	if c := byConfig["count/learned"]; c.SpeedUp < 1 {
+		t.Errorf("learned COUNT slower than iterating: %+v", c)
+	}
+	if !strings.Contains(buf.String(), "String keys") {
+		t.Fatal("table not rendered")
+	}
+}

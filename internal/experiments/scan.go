@@ -114,8 +114,8 @@ func Scan(o Options) []ScanRow {
 	// pays once per source at open and on every Seek.
 	plan := core.New(keys, core.DefaultConfig(n/2000)).Plan()
 	probes := data.SampleExisting(keys, o.Probes, o.Seed+5)
-	timeEntry := func(pos scan.Positioner) time.Duration {
-		var cur scan.KeysCursor
+	timeEntry := func(pos scan.Positioner[uint64]) time.Duration {
+		var cur scan.KeysCursor[uint64]
 		cur.Reset(keys, pos)
 		sink := 0
 		for _, p := range probes { // warm-up

@@ -7,6 +7,12 @@
 // and the merge streams the deduplicated union in ascending order without
 // ever materializing it.
 //
+// The engine is generic over the key type (any cmp.Ordered): the uint64
+// instantiation is the native read path, and the string instantiation is
+// the codec-backed string-key path (internal/keycodec), where a
+// *core.StringIndex is the Positioner and segment dictionaries supply the
+// sorted sources. Both share every line of the merge machinery.
+//
 // # Loser tree
 //
 // The merge is a tournament loser tree, not a binary heap: with k sources,
@@ -20,10 +26,11 @@
 // # Model-biased entry
 //
 // A cursor over a learned layer seeks with the layer's own index: the
-// KeysCursor takes a Positioner (satisfied by *core.Plan) and enters at the
-// predicted-and-corrected lower-bound position instead of binary-searching
-// the array. On a 1M-key layer that is the difference between one model
-// inference (~100ns) and ~20 dependent cache misses.
+// KeysCursor takes a Positioner (satisfied by *core.Plan for uint64 keys,
+// *core.StringIndex for strings) and enters at the predicted-and-corrected
+// lower-bound position instead of binary-searching the array. On a 1M-key
+// layer that is the difference between one model inference (~100ns) and
+// ~20 dependent cache misses.
 //
 // # Allocation discipline
 //
@@ -35,28 +42,28 @@
 package scan
 
 import (
+	"cmp"
 	"sync"
-
-	"learnedindex/internal/search"
 )
 
 // Positioner is a learned entry point into a sorted key array: Lookup
 // returns the lower-bound position of key (index of the first element
-// >= key), exactly. *core.Plan satisfies it; so does *core.RMI.
-type Positioner interface {
-	Lookup(key uint64) int
+// >= key), exactly. *core.Plan satisfies Positioner[uint64] (so does
+// *core.RMI); *core.StringIndex satisfies Positioner[string].
+type Positioner[K cmp.Ordered] interface {
+	Lookup(key K) int
 }
 
 // Cursor is one sorted source in a merge. Implementations must return keys
 // in strictly ascending order between Seeks.
-type Cursor interface {
+type Cursor[K cmp.Ordered] interface {
 	// Seek positions the cursor at the first key >= key, reporting whether
 	// such a key exists. Seeking backward is allowed.
-	Seek(key uint64) bool
+	Seek(key K) bool
 	// Next advances to the following key, reporting whether one exists.
 	Next() bool
 	// Key returns the current key. Valid only after a true Seek/Next.
-	Key() uint64
+	Key() K
 	// Release drops pooled state and source references. The cursor must not
 	// be used afterwards. Called by Iterator.Close.
 	Release()
@@ -69,49 +76,64 @@ type Closer interface {
 	CloseScan()
 }
 
-// KeysCursor iterates a sorted []uint64. With a Positioner set, Seek enters
-// at the model-predicted lower bound (one plan inference); without one it
-// falls back to branch-free binary search. The zero value is unusable; call
-// Reset first.
-type KeysCursor struct {
-	keys []uint64
-	pos  Positioner
+// lowerBound is the branch-light generic lower bound used when a cursor has
+// no learned Positioner.
+func lowerBound[K cmp.Ordered](keys []K, target K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// KeysCursor iterates a sorted []K. With a Positioner set, Seek enters at
+// the model-predicted lower bound (one index inference); without one it
+// falls back to binary search. The zero value is unusable; call Reset
+// first.
+type KeysCursor[K cmp.Ordered] struct {
+	keys []K
+	pos  Positioner[K]
 	i    int
 }
 
 // Reset points the cursor at a sorted key array with an optional learned
 // entry index (nil means binary-search entry).
-func (c *KeysCursor) Reset(keys []uint64, pos Positioner) {
+func (c *KeysCursor[K]) Reset(keys []K, pos Positioner[K]) {
 	c.keys, c.pos, c.i = keys, pos, 0
 }
 
 // Seek positions at the first key >= key.
-func (c *KeysCursor) Seek(key uint64) bool {
+func (c *KeysCursor[K]) Seek(key K) bool {
 	if c.pos != nil {
 		c.i = c.pos.Lookup(key)
 	} else {
-		c.i = search.Binary(c.keys, key, 0, len(c.keys))
+		c.i = lowerBound(c.keys, key)
 	}
 	return c.i < len(c.keys)
 }
 
 // Next advances to the following key.
-func (c *KeysCursor) Next() bool {
+func (c *KeysCursor[K]) Next() bool {
 	c.i++
 	return c.i < len(c.keys)
 }
 
 // Key returns the current key.
-func (c *KeysCursor) Key() uint64 { return c.keys[c.i] }
+func (c *KeysCursor[K]) Key() K { return c.keys[c.i] }
 
 // Release drops the key-array and index references so a pooled cursor never
 // pins a superseded snapshot.
-func (c *KeysCursor) Release() { c.keys, c.pos = nil, nil }
+func (c *KeysCursor[K]) Release() { c.keys, c.pos = nil, nil }
 
 // AppendInRange appends src's keys within [lo, hi) to dst: the shared
 // capture filter of the scan-owning layers, which copy only the in-range
 // part of their delta buffers so capture cost scales with delta∩range.
-func AppendInRange(dst, src []uint64, lo, hi uint64) []uint64 {
+func AppendInRange[K cmp.Ordered](dst, src []K, lo, hi K) []K {
 	for _, k := range src {
 		if k >= lo && k < hi {
 			dst = append(dst, k)
@@ -120,33 +142,67 @@ func AppendInRange(dst, src []uint64, lo, hi uint64) []uint64 {
 	return dst
 }
 
-// Iterator streams the deduplicated ascending union of its cursors over the
-// half-open key range [lo, hi) fixed at Start. Obtain one with Get, drive it
-// with Next/NextBatch/Seek, and always Close it (Close recycles the iterator
-// and releases every cursor and the owner's snapshot state).
-//
-// An Iterator is single-goroutine; concurrent scans each take their own.
-type Iterator struct {
-	cursors []Cursor
-	key     []uint64 // current key per cursor
-	done    []bool   // cursor exhausted
-	tree    []int32  // loser tree: tree[0] = winner, tree[1..k) = match losers
-	win     []int32  // winner-tree build scratch (2k slots)
-	k       int
-	lo, hi  uint64
-	cur     uint64 // last emitted key
-	emitted bool   // cur is valid (dedup baseline)
-	valid   bool   // Key() is valid
-	closer  Closer
-	closed  bool
+// AppendFrom appends src's keys >= lo to dst: the capture filter for
+// unbounded-above scans (string scans with no upper key — there is no
+// natural +∞ sentinel in the string domain).
+func AppendFrom[K cmp.Ordered](dst, src []K, lo K) []K {
+	for _, k := range src {
+		if k >= lo {
+			dst = append(dst, k)
+		}
+	}
+	return dst
 }
 
-var iterPool = sync.Pool{New: func() any { return new(Iterator) }}
+// Iterator streams the deduplicated ascending union of its cursors over the
+// half-open key range [lo, hi) fixed at Start (or [lo, ∞) fixed at
+// StartFrom). Obtain one with Get, drive it with Next/NextBatch/Seek, and
+// always Close it (Close recycles the iterator and releases every cursor
+// and the owner's snapshot state).
+//
+// An Iterator is single-goroutine; concurrent scans each take their own.
+type Iterator[K cmp.Ordered] struct {
+	cursors []Cursor[K]
+	key     []K     // current key per cursor
+	done    []bool  // cursor exhausted
+	tree    []int32 // loser tree: tree[0] = winner, tree[1..k) = match losers
+	win     []int32 // winner-tree build scratch (2k slots)
+	k       int
+	lo, hi  K
+	bounded bool // hi participates in range checks
+	cur     K    // last emitted key
+	emitted bool // cur is valid (dedup baseline)
+	valid   bool // Key() is valid
+	closer  Closer
+	closed  bool
+	pool    *sync.Pool // home pool, nil for exotic instantiations
+}
+
+// Per-instantiation iterator pools. sync.Pool is untyped, so the common
+// instantiations get dedicated pools resolved by a compile-time-flattened
+// type switch in Get; any other key type allocates per scan.
+var (
+	iterPoolU64 = sync.Pool{New: func() any { return new(Iterator[uint64]) }}
+	iterPoolStr = sync.Pool{New: func() any { return new(Iterator[string]) }}
+)
 
 // Get returns a pooled, empty iterator. Add cursors (newest source first),
-// then Start.
-func Get() *Iterator {
-	it := iterPool.Get().(*Iterator)
+// then Start or StartFrom.
+func Get[K cmp.Ordered]() *Iterator[K] {
+	var it *Iterator[K]
+	var pool *sync.Pool
+	switch any(*new(K)).(type) {
+	case uint64:
+		pool = &iterPoolU64
+	case string:
+		pool = &iterPoolStr
+	}
+	if pool != nil {
+		it = pool.Get().(*Iterator[K])
+	} else {
+		it = new(Iterator[K])
+	}
+	it.pool = pool
 	it.cursors = it.cursors[:0]
 	it.k = 0
 	it.closer = nil
@@ -158,18 +214,32 @@ func Get() *Iterator {
 // Add appends a merge source. Cursors must be added newest-first: on equal
 // keys the lowest-indexed cursor wins the tournament, which is what gives
 // the merge newest-wins semantics.
-func (it *Iterator) Add(c Cursor) { it.cursors = append(it.cursors, c) }
+func (it *Iterator[K]) Add(c Cursor[K]) { it.cursors = append(it.cursors, c) }
 
 // Start fixes the scan range [lo, hi), seeks every cursor to lo, and builds
 // the tournament. closer (may be nil) runs once at Close, after the cursors
 // are released. The iterator starts positioned before the first key: call
 // Next to begin.
-func (it *Iterator) Start(lo, hi uint64, closer Closer) {
-	it.lo, it.hi = lo, hi
+func (it *Iterator[K]) Start(lo, hi K, closer Closer) {
+	it.hi = hi
+	it.bounded = true
+	it.start(lo, closer)
+}
+
+// StartFrom fixes the scan range [lo, ∞): like Start with no upper bound.
+// The string instantiation needs this — strings have no maximum value to
+// pass as an exclusive hi.
+func (it *Iterator[K]) StartFrom(lo K, closer Closer) {
+	it.bounded = false
+	it.start(lo, closer)
+}
+
+func (it *Iterator[K]) start(lo K, closer Closer) {
+	it.lo = lo
 	it.closer = closer
 	it.k = len(it.cursors)
 	if cap(it.key) < it.k {
-		it.key = make([]uint64, it.k)
+		it.key = make([]K, it.k)
 		it.done = make([]bool, it.k)
 		it.tree = make([]int32, it.k)
 		it.win = make([]int32, 2*it.k)
@@ -183,7 +253,7 @@ func (it *Iterator) Start(lo, hi uint64, closer Closer) {
 
 // seekAll repositions every cursor at the first key >= key and rebuilds the
 // tournament from scratch.
-func (it *Iterator) seekAll(key uint64) {
+func (it *Iterator[K]) seekAll(key K) {
 	for j, c := range it.cursors {
 		if c.Seek(key) {
 			it.done[j] = false
@@ -199,7 +269,7 @@ func (it *Iterator) seekAll(key uint64) {
 // beats reports whether leaf a wins its match against leaf b: live beats
 // done, smaller key beats larger, and on equal keys the lower index (the
 // newer source) wins.
-func (it *Iterator) beats(a, b int32) bool {
+func (it *Iterator[K]) beats(a, b int32) bool {
 	if it.done[a] != it.done[b] {
 		return !it.done[a]
 	}
@@ -216,7 +286,7 @@ func (it *Iterator) beats(a, b int32) bool {
 // build plays the full tournament bottom-up: an implicit heap over 2k slots
 // whose leaves are the cursors, recording each internal match's loser in
 // tree and bubbling the winner to tree[0].
-func (it *Iterator) build() {
+func (it *Iterator[K]) build() {
 	k := it.k
 	if k == 0 {
 		return
@@ -243,7 +313,7 @@ func (it *Iterator) build() {
 // advance moves cursor j past its current key and replays j's root path:
 // one match per tree level against the stored loser, exactly the work the
 // loser tree exists to bound.
-func (it *Iterator) advance(j int32) {
+func (it *Iterator[K]) advance(j int32) {
 	if it.cursors[j].Next() {
 		it.key[j] = it.cursors[j].Key()
 	} else {
@@ -261,17 +331,17 @@ func (it *Iterator) advance(j int32) {
 	it.tree[0] = w
 }
 
-// Next advances to the next distinct key in [lo, hi), reporting whether one
+// Next advances to the next distinct key in range, reporting whether one
 // exists. Duplicate keys across sources are emitted once (the newest
 // source's instance, though for a key-only store all instances are equal).
-func (it *Iterator) Next() bool {
+func (it *Iterator[K]) Next() bool {
 	for it.k > 0 {
 		w := it.tree[0]
 		if it.done[w] {
 			break // winner exhausted => every cursor is
 		}
 		k := it.key[w]
-		if k >= it.hi {
+		if it.bounded && k >= it.hi {
 			break // winner is the minimum => nothing left in range
 		}
 		it.advance(w)
@@ -287,15 +357,15 @@ func (it *Iterator) Next() bool {
 }
 
 // Key returns the current key. Valid only after a true Next/Seek.
-func (it *Iterator) Key() uint64 { return it.cur }
+func (it *Iterator[K]) Key() K { return it.cur }
 
 // Valid reports whether Key currently holds a scan result.
-func (it *Iterator) Valid() bool { return it.valid }
+func (it *Iterator[K]) Valid() bool { return it.valid }
 
 // Seek repositions the scan at the first key >= key (clamped into the
 // Start range) and reports whether one exists there; on true, Key is
 // already valid and Next continues past it. Seeking backward is allowed.
-func (it *Iterator) Seek(key uint64) bool {
+func (it *Iterator[K]) Seek(key K) bool {
 	if key < it.lo {
 		key = it.lo
 	}
@@ -307,7 +377,7 @@ func (it *Iterator) Seek(key uint64) bool {
 // how many were produced (short only at end of range). The loop body is the
 // same tournament pop as Next with the per-call bookkeeping amortized over
 // the batch.
-func (it *Iterator) NextBatch(dst []uint64) int {
+func (it *Iterator[K]) NextBatch(dst []K) int {
 	n := 0
 	for n < len(dst) && it.Next() {
 		dst[n] = it.cur
@@ -318,7 +388,7 @@ func (it *Iterator) NextBatch(dst []uint64) int {
 
 // Close releases every cursor, runs the owner's Closer, and recycles the
 // iterator. Idempotent.
-func (it *Iterator) Close() {
+func (it *Iterator[K]) Close() {
 	if it.closed {
 		return
 	}
@@ -330,9 +400,16 @@ func (it *Iterator) Close() {
 	it.cursors = it.cursors[:0]
 	it.k = 0
 	it.valid = false
+	var zero K
+	it.cur, it.lo, it.hi = zero, zero, zero // drop string refs held in pooled state
+	for i := range it.key {
+		it.key[i] = zero
+	}
 	if c := it.closer; c != nil {
 		it.closer = nil
 		c.CloseScan()
 	}
-	iterPool.Put(it)
+	if it.pool != nil {
+		it.pool.Put(it)
+	}
 }

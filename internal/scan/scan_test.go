@@ -28,9 +28,9 @@ func refMerge(sources [][]uint64, lo, hi uint64) []uint64 {
 // collect drains an iterator over fresh KeysCursors built from sources.
 func collect(t *testing.T, sources [][]uint64, lo, hi uint64) []uint64 {
 	t.Helper()
-	it := Get()
+	it := Get[uint64]()
 	for _, s := range sources {
-		c := new(KeysCursor)
+		c := new(KeysCursor[uint64])
 		c.Reset(s, nil)
 		it.Add(c)
 	}
@@ -92,9 +92,9 @@ func TestMergeEdgeShapes(t *testing.T) {
 
 func TestIteratorSeek(t *testing.T) {
 	sources := [][]uint64{{1, 4, 7, 10, 13}, {2, 4, 8, 10, 14}}
-	it := Get()
+	it := Get[uint64]()
 	for _, s := range sources {
-		c := new(KeysCursor)
+		c := new(KeysCursor[uint64])
 		c.Reset(s, nil)
 		it.Add(c)
 	}
@@ -134,9 +134,9 @@ func TestNextBatchMatchesNext(t *testing.T) {
 	}
 	want := refMerge(sources, 100, 4000)
 
-	it := Get()
+	it := Get[uint64]()
 	for _, s := range sources {
-		c := new(KeysCursor)
+		c := new(KeysCursor[uint64])
 		c.Reset(s, nil)
 		it.Add(c)
 	}
@@ -174,7 +174,7 @@ func TestKeysCursorModelBiasedEntry(t *testing.T) {
 		keys[i] = uint64(3*i + 1)
 	}
 	fp := &fakePositioner{keys: keys}
-	var c KeysCursor
+	var c KeysCursor[uint64]
 	c.Reset(keys, fp)
 	if !c.Seek(301) || c.Key() != 301 {
 		t.Fatalf("Seek(301) = %d", c.Key())
@@ -186,7 +186,7 @@ func TestKeysCursorModelBiasedEntry(t *testing.T) {
 		t.Fatalf("Next = %d", c.Key())
 	}
 	// Without a positioner, same semantics via binary search.
-	var b KeysCursor
+	var b KeysCursor[uint64]
 	b.Reset(keys, nil)
 	if !b.Seek(302) || b.Key() != 304 {
 		t.Fatalf("binary Seek(302) = %d", b.Key())
@@ -199,8 +199,8 @@ func (c *countingCloser) CloseScan() { c.n++ }
 
 func TestCloseReleasesAndIsIdempotent(t *testing.T) {
 	var cc countingCloser
-	it := Get()
-	c := new(KeysCursor)
+	it := Get[uint64]()
+	c := new(KeysCursor[uint64])
 	c.Reset([]uint64{1, 2, 3}, nil)
 	it.Add(c)
 	it.Start(0, 10, &cc)
@@ -222,9 +222,9 @@ func TestIteratorPoolSteadyStateAllocFree(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under -race")
 	}
 	sources := [][]uint64{{1, 2, 3, 4, 5}, {3, 4, 5, 6, 7}, {7, 8, 9}}
-	cursors := make([]KeysCursor, len(sources))
+	cursors := make([]KeysCursor[uint64], len(sources))
 	run := func() {
-		it := Get()
+		it := Get[uint64]()
 		for i := range sources {
 			cursors[i].Reset(sources[i], nil)
 			it.Add(&cursors[i])

@@ -1,0 +1,126 @@
+package scan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestStringIteratorMerge drives the string instantiation of the merge:
+// overlapping sorted string sources, newest-wins dedup, bounded and
+// unbounded ranges — differentially against a flat merge-sort oracle.
+func TestStringIteratorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sources := make([][]string, 4)
+	union := map[string]struct{}{}
+	for s := range sources {
+		n := 50 + rng.Intn(200)
+		set := map[string]struct{}{}
+		for len(set) < n {
+			k := fmt.Sprintf("k%04d", rng.Intn(1000))
+			set[k] = struct{}{}
+			union[k] = struct{}{}
+		}
+		for k := range set {
+			sources[s] = append(sources[s], k)
+		}
+		sort.Strings(sources[s])
+	}
+	all := make([]string, 0, len(union))
+	for k := range union {
+		all = append(all, k)
+	}
+	sort.Strings(all)
+
+	ranges := [][2]string{{"", "zzzz"}, {"k0100", "k0500"}, {"k0999", "k1000"}, {"a", "a"}}
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		it := Get[string]()
+		cs := make([]KeysCursor[string], len(sources))
+		for i := range sources {
+			cs[i].Reset(sources[i], nil)
+			it.Add(&cs[i])
+		}
+		it.Start(lo, hi, nil)
+		var got []string
+		for it.Next() {
+			got = append(got, it.Key())
+		}
+		it.Close()
+		var want []string
+		for _, k := range all {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%q,%q): got %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range [%q,%q): key %d = %q, want %q", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Unbounded-above: StartFrom streams to the end of every source.
+	it := Get[string]()
+	cs := make([]KeysCursor[string], len(sources))
+	for i := range sources {
+		cs[i].Reset(sources[i], nil)
+		it.Add(&cs[i])
+	}
+	it.StartFrom("k0500", nil)
+	var got []string
+	for it.Next() {
+		got = append(got, it.Key())
+	}
+	it.Close()
+	want := all[sort.SearchStrings(all, "k0500"):]
+	if len(got) != len(want) {
+		t.Fatalf("StartFrom: got %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("StartFrom: key %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Seek within an unbounded scan.
+	it = Get[string]()
+	for i := range sources {
+		cs[i].Reset(sources[i], nil)
+		it.Add(&cs[i])
+	}
+	it.StartFrom("", nil)
+	if !it.Seek("k0700") {
+		t.Fatal("Seek(k0700) found nothing")
+	}
+	if w := all[sort.SearchStrings(all, "k0700")]; it.Key() != w {
+		t.Fatalf("Seek landed on %q, want %q", it.Key(), w)
+	}
+	it.Close()
+}
+
+// TestStringKeysCursorPositioner checks the learned-entry path of the
+// string cursor via a stub Positioner.
+func TestStringKeysCursorPositioner(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	pos := stubStringPositioner{keys}
+	var c KeysCursor[string]
+	c.Reset(keys, pos)
+	if !c.Seek("b") || c.Key() != "b" {
+		t.Fatal("positioned Seek failed")
+	}
+	if !c.Next() || c.Key() != "c" {
+		t.Fatal("Next after positioned Seek failed")
+	}
+	c.Release()
+}
+
+type stubStringPositioner struct{ keys []string }
+
+func (s stubStringPositioner) Lookup(key string) int {
+	return sort.SearchStrings(s.keys, key)
+}

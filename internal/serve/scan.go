@@ -48,7 +48,11 @@ type scanState struct {
 	snap  *storage.Snapshot
 	snaps []*snapshot
 	delta []uint64
-	kcs   []scan.KeysCursor
+	kcs   []scan.KeysCursor[uint64]
+	// String-mode twins; only one trio is populated per scan.
+	ssnaps []*strSnapshot
+	sdelta []string
+	scs    []scan.KeysCursor[string]
 }
 
 var scanStatePool = sync.Pool{New: func() any { return new(scanState) }}
@@ -66,6 +70,17 @@ func (st *scanState) CloseScan() {
 	}
 	st.snaps = st.snaps[:0]
 	st.kcs = st.kcs[:0] // cursor Release already dropped the key refs
+	for i := range st.ssnaps {
+		st.ssnaps[i] = nil
+	}
+	st.ssnaps = st.ssnaps[:0]
+	// Zero the delta's string entries: the pooled backing array must not
+	// pin key bytes from a finished scan.
+	for i := range st.sdelta {
+		st.sdelta[i] = ""
+	}
+	st.sdelta = st.sdelta[:0]
+	st.scs = st.scs[:0]
 	scanStatePool.Put(st)
 }
 
@@ -97,14 +112,17 @@ func (st *scanState) captureInMemory(s *Store, lo, hi uint64) {
 // iterator starts before the first key — drive it with Next (or NextBatch)
 // and always Close it; Seek repositions within the range. hi is exclusive,
 // so ^uint64(0) scans to the end of the domain save the maximal key.
-func (s *Store) Scan(lo, hi uint64) *scan.Iterator {
-	it := scan.Get()
+func (s *Store) Scan(lo, hi uint64) *scan.Iterator[uint64] {
+	if s.strKeys {
+		panic("serve: uint64 scan on a string-keyed store")
+	}
+	it := scan.Get[uint64]()
 	st := scanStatePool.Get().(*scanState)
 	if s.eng != nil {
 		sn := s.eng.AcquireSnapshotRange(lo, hi)
 		st.snap = sn
 		if p := sn.Pending(); len(p) > 0 {
-			st.kcs = append(st.kcs[:0], scan.KeysCursor{})
+			st.kcs = append(st.kcs[:0], scan.KeysCursor[uint64]{})
 			st.kcs[0].Reset(p, nil)
 			it.Add(&st.kcs[0]) // the delta is the newest layer: it wins ties
 		}
@@ -123,7 +141,7 @@ func (s *Store) Scan(lo, hi uint64) *scan.Iterator {
 	// check prunes all but the covering ones.
 	st.kcs = st.kcs[:0]
 	if len(st.delta) > 0 {
-		st.kcs = append(st.kcs, scan.KeysCursor{})
+		st.kcs = append(st.kcs, scan.KeysCursor[uint64]{})
 		st.kcs[len(st.kcs)-1].Reset(st.delta, nil)
 	}
 	for _, sn := range st.snaps {
@@ -131,7 +149,7 @@ func (s *Store) Scan(lo, hi uint64) *scan.Iterator {
 		if len(ks) == 0 || ks[0] >= hi || ks[len(ks)-1] < lo {
 			continue
 		}
-		st.kcs = append(st.kcs, scan.KeysCursor{})
+		st.kcs = append(st.kcs, scan.KeysCursor[uint64]{})
 		st.kcs[len(st.kcs)-1].Reset(ks, sn.plan)
 	}
 	for i := range st.kcs {
@@ -172,6 +190,9 @@ func (s *Store) ScanBatch(lo, hi uint64, dst []uint64) []uint64 {
 // the range width: counting a billion-key range is two model inferences
 // per layer plus the delta correction.
 func (s *Store) CountRange(lo, hi uint64) int {
+	if s.strKeys {
+		panic("serve: uint64 scan on a string-keyed store")
+	}
 	if hi <= lo {
 		return 0
 	}

@@ -154,8 +154,16 @@ type shard struct {
 // Store is the sharded serving layer. Create with New (or Open for a
 // persistent store), release with Close.
 type Store struct {
-	bounds  []uint64 // len(shards)-1 split keys; shard i serves [bounds[i-1], bounds[i])
-	shards  []*shard
+	bounds []uint64 // len(shards)-1 split keys; shard i serves [bounds[i-1], bounds[i])
+	shards []*shard
+	// String mode (NewString/OpenString): the codec twin of the fields
+	// above. strKeys fixes the store's key mode at construction — exactly
+	// one of shards/shardsS is populated, and calling a uint64 method on a
+	// string store (or vice versa) panics, mirroring the storage engine's
+	// mode discipline.
+	strKeys bool
+	boundsS []string
+	shardsS []*strShard
 	cfg     core.Config
 	thresh  int
 	mergeCh chan int
@@ -309,6 +317,9 @@ func (s *Store) shardFor(key uint64) int {
 // appended to the WAL first (durable at the next Sync); a write error is
 // sticky in the engine and surfaces on Sync/Flush/Close.
 func (s *Store) Insert(key uint64) {
+	if s.strKeys {
+		panic("serve: uint64 insert on a string-keyed store")
+	}
 	if s.eng != nil {
 		if s.eng.Append(key) != nil {
 			return // sticky; reported by Sync/Close
@@ -346,6 +357,9 @@ func (s *Store) Insert(key uint64) {
 // at the next drain or Flush. On an in-memory Store there is no
 // durability to wait for; the keys are simply inserted.
 func (s *Store) InsertDurable(keys ...uint64) error {
+	if s.strKeys {
+		panic("serve: uint64 insert on a string-keyed store")
+	}
 	if s.eng == nil {
 		for _, k := range keys {
 			s.Insert(k)
@@ -390,7 +404,11 @@ func maxConcurrentRetrains() int {
 // store 2 x 8 — full utilization either way, never a multiplied stack.
 func (s *Store) retrainWorkers() int {
 	p := runtime.GOMAXPROCS(0)
-	slots := min(len(s.shards), cap(s.retrainSem))
+	nsh := len(s.shards)
+	if s.strKeys {
+		nsh = len(s.shardsS)
+	}
+	slots := min(nsh, cap(s.retrainSem))
 	if slots < 1 {
 		slots = 1
 	}
@@ -431,6 +449,10 @@ func (s *Store) dispatchDrain(i int) {
 		s.drain(0)
 		return
 	}
+	if s.strKeys {
+		s.dispatchDrainStr(i)
+		return
+	}
 	sh := s.shards[i]
 	if !sh.merging.CompareAndSwap(false, true) {
 		return // this shard's drain is already queued or running
@@ -461,6 +483,17 @@ func (s *Store) sweep() {
 	if s.eng != nil {
 		if s.eng.PendingLen() >= s.thresh {
 			s.drain(0)
+		}
+		return
+	}
+	if s.strKeys {
+		for i, sh := range s.shardsS {
+			sh.mu.Lock()
+			over := len(sh.buf) >= s.thresh
+			sh.mu.Unlock()
+			if over {
+				s.dispatchDrainStr(i)
+			}
 		}
 		return
 	}
@@ -535,6 +568,17 @@ func (s *Store) Flush() {
 		return
 	}
 	var wg sync.WaitGroup
+	if s.strKeys {
+		for i := range s.shardsS {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s.drainStr(i)
+			}(i)
+		}
+		wg.Wait()
+		return
+	}
 	for i := range s.shards {
 		wg.Add(1)
 		go func(i int) {
@@ -590,6 +634,9 @@ type view struct {
 // persistent Store the position is the exact sum of per-segment model
 // lookups (segments hold disjoint key sets).
 func (s *Store) Lookup(key uint64) int {
+	if s.strKeys {
+		panic("serve: uint64 read on a string-keyed store")
+	}
 	if s.eng != nil {
 		return s.eng.Lookup(key)
 	}
@@ -605,6 +652,9 @@ func (s *Store) Lookup(key uint64) int {
 // segment's Bloom filter is consulted before its key block is searched,
 // so misses rarely touch a model.
 func (s *Store) Contains(key uint64) bool {
+	if s.strKeys {
+		panic("serve: uint64 read on a string-keyed store")
+	}
 	if s.eng != nil {
 		return s.eng.Contains(key)
 	}
@@ -617,6 +667,12 @@ func (s *Store) Len() int {
 		return s.eng.Len()
 	}
 	total := 0
+	if s.strKeys {
+		for _, sh := range s.shardsS {
+			total += len(sh.snap.Load().keys)
+		}
+		return total
+	}
 	for _, sh := range s.shards {
 		total += len(sh.snap.Load().keys)
 	}
@@ -630,6 +686,14 @@ func (s *Store) Pending() int {
 		return s.eng.PendingLen()
 	}
 	total := 0
+	if s.strKeys {
+		for _, sh := range s.shardsS {
+			sh.mu.Lock()
+			total += len(sh.buf)
+			sh.mu.Unlock()
+		}
+		return total
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		total += len(sh.buf)
@@ -653,6 +717,9 @@ func (s *Store) NumShards() int {
 	if s.eng != nil {
 		return 1
 	}
+	if s.strKeys {
+		return len(s.shardsS)
+	}
 	return len(s.shards)
 }
 
@@ -673,6 +740,9 @@ func (s *Store) StorageStats() (storage.Stats, bool) {
 // search range before any key is touched, and the group keeps its search
 // misses overlapped.
 func (s *Store) LookupBatch(probes []uint64) []int {
+	if s.strKeys {
+		panic("serve: uint64 read on a string-keyed store")
+	}
 	out := make([]int, len(probes))
 	if len(probes) == 0 {
 		return out
@@ -708,6 +778,9 @@ func (s *Store) LookupBatch(probes []uint64) []int {
 // ContainsBatch reports membership for every probe, in probe order,
 // against one consistent captured view.
 func (s *Store) ContainsBatch(probes []uint64) []bool {
+	if s.strKeys {
+		panic("serve: uint64 read on a string-keyed store")
+	}
 	out := make([]bool, len(probes))
 	if len(probes) == 0 {
 		return out

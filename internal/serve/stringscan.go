@@ -1,0 +1,190 @@
+package serve
+
+// Streaming range scans and learned counts over a string-keyed Store: the
+// codec-domain twin of scan.go, with one wrinkle — strings have no +∞, so
+// the unbounded-above scan is a distinct entry point (ScanStringFrom)
+// instead of a sentinel upper bound. The capture discipline (delta layers
+// before snapshots, newest-wins merge dedup) and the pooling contract are
+// identical.
+
+import (
+	"slices"
+
+	"learnedindex/internal/scan"
+)
+
+// captureInMemoryStr is captureInMemory in the string domain; bounded
+// selects [lo, hi) vs keys >= lo.
+func (st *scanState) captureInMemoryStr(s *Store, lo, hi string, bounded bool) {
+	st.sdelta = st.sdelta[:0]
+	for _, sh := range s.shardsS {
+		sh.mu.Lock()
+		if bounded {
+			st.sdelta = scan.AppendInRange(st.sdelta, sh.buf, lo, hi)
+			st.sdelta = scan.AppendInRange(st.sdelta, sh.draining, lo, hi)
+		} else {
+			st.sdelta = scan.AppendFrom(st.sdelta, sh.buf, lo)
+			st.sdelta = scan.AppendFrom(st.sdelta, sh.draining, lo)
+		}
+		sh.mu.Unlock()
+	}
+	slices.Sort(st.sdelta)
+	st.sdelta = slices.Compact(st.sdelta)
+	st.ssnaps = st.ssnaps[:0]
+	for _, sh := range s.shardsS {
+		st.ssnaps = append(st.ssnaps, sh.snap.Load())
+	}
+}
+
+// ScanString opens a streaming merge over every string key in [lo, hi):
+// ascending codec (byte) order, deduplicated, snapshot-consistent per the
+// scan.go package comment. hi is exclusive; use ScanStringFrom to scan
+// without an upper bound. Always Close the iterator.
+func (s *Store) ScanString(lo, hi string) *scan.Iterator[string] {
+	return s.openStringScan(lo, hi, true)
+}
+
+// ScanStringFrom opens a scan over every string key >= lo, to the end of
+// the store — the unbounded-above form a maximal-key sentinel cannot
+// express in the string domain.
+func (s *Store) ScanStringFrom(lo string) *scan.Iterator[string] {
+	return s.openStringScan(lo, "", false)
+}
+
+func (s *Store) openStringScan(lo, hi string, bounded bool) *scan.Iterator[string] {
+	if !s.strKeys {
+		panic("serve: string scan on a uint64-keyed store")
+	}
+	it := scan.Get[string]()
+	st := scanStatePool.Get().(*scanState)
+	if s.eng != nil {
+		sn := s.eng.AcquireSnapshotRangeStr(lo, hi, bounded)
+		st.snap = sn
+		st.scs = st.scs[:0]
+		if p := sn.PendingStrings(); len(p) > 0 {
+			st.scs = append(st.scs, scan.KeysCursor[string]{})
+			st.scs[0].Reset(p, nil)
+		}
+		for i := 0; i < sn.NumSegments(); i++ {
+			if ks, pos := sn.SegmentStrings(i, lo, hi, bounded); ks != nil {
+				st.scs = append(st.scs, scan.KeysCursor[string]{})
+				st.scs[len(st.scs)-1].Reset(ks, pos)
+			}
+		}
+		for i := range st.scs {
+			it.Add(&st.scs[i]) // delta first: the newest layer wins ties
+		}
+		if bounded {
+			it.Start(lo, hi, st)
+		} else {
+			it.StartFrom(lo, st)
+		}
+		return it
+	}
+	st.captureInMemoryStr(s, lo, hi, bounded)
+	st.scs = st.scs[:0]
+	if len(st.sdelta) > 0 {
+		st.scs = append(st.scs, scan.KeysCursor[string]{})
+		st.scs[len(st.scs)-1].Reset(st.sdelta, nil)
+	}
+	for _, sn := range st.ssnaps {
+		ks := sn.keys
+		if len(ks) == 0 || (bounded && ks[0] >= hi) || ks[len(ks)-1] < lo {
+			continue
+		}
+		st.scs = append(st.scs, scan.KeysCursor[string]{})
+		st.scs[len(st.scs)-1].Reset(ks, sn.idx)
+	}
+	for i := range st.scs {
+		it.Add(&st.scs[i])
+	}
+	if bounded {
+		it.Start(lo, hi, st)
+	} else {
+		it.StartFrom(lo, st)
+	}
+	return it
+}
+
+// ScanBatchString appends every string key in [lo, hi) — same view as
+// ScanString — to dst and returns it.
+func (s *Store) ScanBatchString(lo, hi string, dst []string) []string {
+	it := s.ScanString(lo, hi)
+	defer it.Close()
+	for {
+		if len(dst) == cap(dst) {
+			dst = slices.Grow(dst, max(256, cap(dst)))
+		}
+		free := dst[len(dst):cap(dst)]
+		n := it.NextBatch(free)
+		dst = dst[:len(dst)+n]
+		if n < len(free) {
+			return dst
+		}
+	}
+}
+
+// CountRangeString returns the exact number of distinct string keys in
+// [lo, hi) over the same view a ScanString at this instant would stream —
+// by codec-index position arithmetic plus the delta correction, without
+// iterating.
+func (s *Store) CountRangeString(lo, hi string) int {
+	if !s.strKeys {
+		panic("serve: string scan on a uint64-keyed store")
+	}
+	if hi <= lo {
+		return 0
+	}
+	if s.eng != nil {
+		return s.eng.CountRangeStr(lo, hi, true)
+	}
+	st := scanStatePool.Get().(*scanState)
+	st.captureInMemoryStr(s, lo, hi, true)
+	total := 0
+	for _, sn := range st.ssnaps {
+		if ks := sn.keys; len(ks) == 0 || ks[0] >= hi || ks[len(ks)-1] < lo {
+			continue
+		}
+		a, b := sn.idx.RangeScan(lo, hi)
+		total += b - a
+	}
+	for _, k := range st.sdelta { // already restricted to [lo, hi)
+		if !st.ssnaps[s.shardForString(k)].idx.Contains(k) {
+			total++
+		}
+	}
+	st.CloseScan()
+	return total
+}
+
+// CountFromString is CountRangeString without an upper bound: the number
+// of distinct committed string keys >= lo.
+func (s *Store) CountFromString(lo string) int {
+	if !s.strKeys {
+		panic("serve: string scan on a uint64-keyed store")
+	}
+	if s.eng != nil {
+		return s.eng.CountRangeStr(lo, "", false)
+	}
+	st := scanStatePool.Get().(*scanState)
+	st.captureInMemoryStr(s, lo, "", false)
+	total := 0
+	for _, sn := range st.ssnaps {
+		ks := sn.keys
+		if len(ks) == 0 || ks[len(ks)-1] < lo {
+			continue
+		}
+		a := 0
+		if lo > ks[0] {
+			a = sn.idx.Lookup(lo)
+		}
+		total += len(ks) - a
+	}
+	for _, k := range st.sdelta { // already restricted to keys >= lo
+		if !st.ssnaps[s.shardForString(k)].idx.Contains(k) {
+			total++
+		}
+	}
+	st.CloseScan()
+	return total
+}

@@ -1,0 +1,374 @@
+package serve
+
+// String-keyed serving: the same range-sharded RCU architecture as the
+// uint64 store, generalized over the order-preserving key codec
+// (internal/keycodec). Each shard's snapshot holds its sorted string keys
+// behind a core.StringIndex — the prefix RMI plus suffix dictionary, with
+// the StringRMI tie-break model trained only when the prefix space is
+// collision-heavy — and shard boundaries are split *strings* picked from
+// the initial key space, so routing stays a binary search over the bounds
+// in key order (Prefix is order-preserving, so prefix order and string
+// order agree wherever routing needs them to).
+//
+// The consistency model, drain machinery, and scan capture discipline are
+// the uint64 store's, unchanged; only the key domain differs. A persistent
+// string store (Options.Dir) rides the storage engine's string mode:
+// string WAL frames, version-2 segment files, and codec-index reads.
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/slicepool"
+	"learnedindex/internal/storage"
+)
+
+// strSnapshot is one string shard's immutable published state.
+type strSnapshot struct {
+	keys []string
+	idx  *core.StringIndex
+}
+
+// newStrSnapshot publishes keys behind a freshly trained codec index.
+// workers follows newSnapshot's budget discipline.
+func newStrSnapshot(keys []string, cfg core.Config, workers int) *strSnapshot {
+	var idx *core.StringIndex
+	if workers > 0 {
+		idx = core.NewStringIndexWorkers(keys, cfg, workers)
+	} else {
+		idx = core.NewStringIndex(keys, cfg)
+	}
+	return &strSnapshot{keys: keys, idx: idx}
+}
+
+// strShard mirrors shard in the string domain; see shard for the field
+// contracts (buf/draining visibility, merge gating).
+type strShard struct {
+	snap     atomic.Pointer[strSnapshot]
+	mergeMu  sync.Mutex
+	merging  atomic.Bool
+	mu       sync.Mutex
+	buf      []string
+	draining []string
+}
+
+// NewString builds a string-keyed Store over the initial keys (any order;
+// duplicates dropped), the codec twin of New. Panics on an engine error
+// when opt.Dir is set; use OpenString to handle it.
+func NewString(keys []string, cfg core.Config, opt Options) *Store {
+	s, err := OpenString(keys, cfg, opt)
+	if err != nil {
+		panic(fmt.Sprintf("serve.NewString: %v (use serve.OpenString to handle storage errors)", err))
+	}
+	return s
+}
+
+// OpenString builds a string-keyed Store like NewString, returning engine
+// errors instead of panicking. With opt.Dir set it opens (or recovers) the
+// persistent engine in string mode — v2 segment files, string WAL — and
+// re-serves everything durable from the deserialized codec indexes.
+func OpenString(keys []string, cfg core.Config, opt Options) (*Store, error) {
+	if opt.Dir != "" {
+		return openPersistentStr(keys, cfg, opt)
+	}
+	return newInMemoryStr(keys, cfg, opt), nil
+}
+
+func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, error) {
+	thresh := opt.MergeThreshold
+	if thresh <= 0 {
+		thresh = 4096
+	}
+	eng, err := storage.Open(opt.Dir, storage.Options{
+		Config:        cfg,
+		BloomFPR:      opt.BloomFPR,
+		CompactFanout: opt.CompactFanout,
+		StringKeys:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		strKeys:    true,
+		cfg:        cfg,
+		thresh:     thresh,
+		mergeCh:    make(chan int, 1),
+		quit:       make(chan struct{}),
+		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
+		eng:        eng,
+	}
+	if len(keys) > 0 {
+		if err := eng.AppendStringBatch(keys); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		if err := eng.Flush(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.merger()
+	return s, nil
+}
+
+func newInMemoryStr(keys []string, cfg core.Config, opt Options) *Store {
+	nsh := opt.Shards
+	if nsh <= 0 {
+		nsh = 8
+	}
+	thresh := opt.MergeThreshold
+	if thresh <= 0 {
+		thresh = 4096
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+
+	if len(cfg.StageSizes) > 0 {
+		ss := slices.Clone(cfg.StageSizes)
+		for i := range ss {
+			if ss[i] < 1 {
+				ss[i] = 1
+			}
+		}
+		cfg.StageSizes = ss
+	}
+
+	s := &Store{
+		strKeys:    true,
+		cfg:        cfg,
+		thresh:     thresh,
+		mergeCh:    make(chan int, nsh),
+		quit:       make(chan struct{}),
+		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
+	}
+	n := len(sorted)
+	if n > 0 && nsh > 1 {
+		s.boundsS = make([]string, 0, nsh-1)
+		for i := 1; i < nsh; i++ {
+			s.boundsS = append(s.boundsS, sorted[i*n/nsh])
+		}
+	}
+	s.shardsS = make([]*strShard, nsh)
+	lo := 0
+	for i := range s.shardsS {
+		hi := n
+		if i < len(s.boundsS) {
+			hi = sort.SearchStrings(sorted[:n], s.boundsS[i])
+			if hi < lo {
+				hi = lo
+			}
+		}
+		part := sorted[lo:hi:hi]
+		sh := &strShard{}
+		sh.snap.Store(newStrSnapshot(part, cfg, 0))
+		s.shardsS[i] = sh
+		lo = hi
+	}
+	s.wg.Add(1)
+	go s.merger()
+	return s
+}
+
+// shardForString routes a string key to its range partition.
+func (s *Store) shardForString(key string) int {
+	return sort.Search(len(s.boundsS), func(i int) bool { return key < s.boundsS[i] })
+}
+
+// InsertString buffers a string key for its shard, waking the merger past
+// the threshold — Insert in the codec domain, with the same visibility
+// contract (readable at the next drain or Flush; durable on a persistent
+// store at the next Sync).
+func (s *Store) InsertString(key string) {
+	if !s.strKeys {
+		panic("serve: string insert on a uint64-keyed store")
+	}
+	if s.eng != nil {
+		if s.eng.AppendString(key) != nil {
+			return // sticky; reported by Sync/Close
+		}
+		if s.eng.PendingLen() >= s.thresh {
+			select {
+			case s.mergeCh <- 0:
+			default:
+			}
+		}
+		return
+	}
+	i := s.shardForString(key)
+	sh := s.shardsS[i]
+	sh.mu.Lock()
+	if sh.buf == nil {
+		sh.buf = getStrShardBuf()
+	}
+	sh.buf = append(sh.buf, key)
+	full := len(sh.buf) >= s.thresh
+	sh.mu.Unlock()
+	if full {
+		select {
+		case s.mergeCh <- i:
+		default:
+		}
+	}
+}
+
+// InsertDurableString inserts string keys and returns once they are
+// crash-durable, riding the engine's group-commit plane like
+// InsertDurable. On an in-memory store the keys are simply inserted.
+func (s *Store) InsertDurableString(keys ...string) error {
+	if !s.strKeys {
+		panic("serve: string insert on a uint64-keyed store")
+	}
+	if s.eng == nil {
+		for _, k := range keys {
+			s.InsertString(k)
+		}
+		return nil
+	}
+	if err := s.eng.CommitStringBatch(keys); err != nil {
+		return err
+	}
+	if s.eng.PendingLen() >= s.thresh {
+		select {
+		case s.mergeCh <- 0:
+		default:
+		}
+	}
+	return nil
+}
+
+// strShardBufPool recycles drained string insert buffers. Entries are
+// zeroed on return so a pooled buffer never pins drained key bytes.
+var strShardBufPool slicepool.Pool[string]
+
+func getStrShardBuf() []string { return strShardBufPool.Get() }
+func putStrShardBuf(b []string) {
+	for i := range b {
+		b[i] = ""
+	}
+	strShardBufPool.Put(b)
+}
+
+// dispatchDrainStr is dispatchDrain for an in-memory string shard.
+func (s *Store) dispatchDrainStr(i int) {
+	sh := s.shardsS[i]
+	if !sh.merging.CompareAndSwap(false, true) {
+		return
+	}
+	s.drainWG.Add(1)
+	go func() {
+		defer s.drainWG.Done()
+		s.drainStr(i)
+		sh.merging.Store(false)
+		sh.mu.Lock()
+		over := len(sh.buf) >= s.thresh
+		sh.mu.Unlock()
+		if over {
+			select {
+			case s.mergeCh <- i:
+			default:
+			}
+		}
+	}()
+}
+
+// drainStr merges string shard i's buffer into a fresh snapshot and
+// publishes it — drain's codec twin, with the identical capture and
+// buffer-recycling discipline.
+func (s *Store) drainStr(i int) {
+	if s.eng != nil {
+		s.eng.Flush()
+		return
+	}
+	sh := s.shardsS[i]
+	sh.mergeMu.Lock()
+	defer sh.mergeMu.Unlock()
+	sh.mu.Lock()
+	buf := sh.buf
+	sh.buf = nil
+	if len(buf) > 0 {
+		sh.draining = buf
+	}
+	sh.mu.Unlock()
+	if len(buf) == 0 {
+		return
+	}
+	release := func(work []string) {
+		sh.mu.Lock()
+		sh.draining = nil
+		sh.mu.Unlock()
+		putStrShardBuf(buf)
+		putStrShardBuf(work)
+	}
+	s.retrainSem <- struct{}{}
+	defer func() { <-s.retrainSem }()
+	work := append(getStrShardBuf(), buf...)
+	slices.Sort(work)
+	deduped := slices.Compact(work)
+	cur := sh.snap.Load()
+	merged := mergeDedupStr(cur.keys, deduped)
+	if len(merged) == len(cur.keys) {
+		release(work)
+		return
+	}
+	sh.snap.Store(newStrSnapshot(merged, s.cfg, s.retrainWorkers()))
+	s.merges.Add(1)
+	release(work)
+}
+
+// LookupString returns the global lower-bound position of key over the
+// committed view in codec (byte) order: the index of the first committed
+// key >= key.
+func (s *Store) LookupString(key string) int {
+	if !s.strKeys {
+		panic("serve: string read on a uint64-keyed store")
+	}
+	if s.eng != nil {
+		return s.eng.LookupString(key)
+	}
+	i := s.shardForString(key)
+	total := 0
+	for j := 0; j < i; j++ {
+		total += len(s.shardsS[j].snap.Load().keys)
+	}
+	return total + s.shardsS[i].snap.Load().idx.Lookup(key)
+}
+
+// ContainsString reports whether a string key is committed.
+func (s *Store) ContainsString(key string) bool {
+	if !s.strKeys {
+		panic("serve: string read on a uint64-keyed store")
+	}
+	if s.eng != nil {
+		return s.eng.ContainsString(key)
+	}
+	return s.shardsS[s.shardForString(key)].snap.Load().idx.Contains(key)
+}
+
+// mergeDedupStr is mergeDedup in the string domain.
+func mergeDedupStr(base, extra []string) []string {
+	merged := make([]string, 0, len(base)+len(extra))
+	i, j := 0, 0
+	for i < len(base) && j < len(extra) {
+		switch {
+		case base[i] < extra[j]:
+			merged = append(merged, base[i])
+			i++
+		case base[i] > extra[j]:
+			merged = append(merged, extra[j])
+			j++
+		default:
+			merged = append(merged, base[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, base[i:]...)
+	merged = append(merged, extra[j:]...)
+	return merged
+}

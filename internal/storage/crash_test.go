@@ -143,7 +143,7 @@ func TestCrashRecoveryRandomTruncation(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			_, crashWALs, err := scanWALFiles(crashDir)
+			_, crashWALs, _, err := scanWALFiles(crashDir, false)
 			if err != nil || len(crashWALs) != 1 {
 				t.Fatalf("crash dir WALs: %v (err %v)", crashWALs, err)
 			}

@@ -14,9 +14,9 @@ import (
 // drainSnapshot merges a snapshot's delta + segment cursors through the
 // scan iterator, exactly as the serving layer composes them.
 func drainSnapshot(sn *Snapshot, lo, hi uint64) []uint64 {
-	it := scan.Get()
+	it := scan.Get[uint64]()
 	if p := sn.Pending(); len(p) > 0 {
-		c := new(scan.KeysCursor)
+		c := new(scan.KeysCursor[uint64])
 		c.Reset(p, nil)
 		it.Add(c) // newest layer first
 	}

@@ -11,6 +11,7 @@ import (
 	"learnedindex/internal/binenc"
 	"learnedindex/internal/bloom"
 	"learnedindex/internal/core"
+	"learnedindex/internal/keycodec"
 )
 
 // Segment files are the immutable sorted runs of the engine. Layout:
@@ -34,13 +35,37 @@ import (
 // run produces the covering range. Recovery treats a file whose range is
 // strictly contained in another's as an obsolete compaction input that
 // survived a crash, and deletes it.
-var segMagic = [8]byte{'L', 'I', 'X', 'S', 'E', 'G', '0', '1'}
+//
+// Version 2 ("LIXSEG02") is the string-keyed segment of the key codec
+// (internal/keycodec). Layout:
+//
+//	magic "LIXSEG02" (8 bytes)
+//	body:
+//	  uvarint prefixCount (>= 1)
+//	  uvarint firstPrefix, then prefixCount-1 uvarint deltas (positive)
+//	  length-prefixed serialized core.RMI     (trained over the prefixes)
+//	  length-prefixed serialized bloom.Filter (over the exact string keys)
+//	  length-prefixed keycodec.Dict           (suffixes + collision dir)
+//	crc32c(body) (4 bytes LE)
+//
+// The prefix block reuses the uint64 delta-varint coding over the sorted
+// *deduplicated* 8-byte prefixes; the dictionary reconstructs the exact
+// keys from the prefixes plus per-key length+suffix, so long keys never
+// store their first 8 bytes twice. Version tags make the formats
+// self-describing: a v1 file decodes under v1 rules forever, and an engine
+// opened in the wrong mode rejects the directory instead of misreading it.
+var (
+	segMagic  = [8]byte{'L', 'I', 'X', 'S', 'E', 'G', '0', '1'}
+	segMagic2 = [8]byte{'L', 'I', 'X', 'S', 'E', 'G', '0', '2'}
+)
 
 type segment struct {
 	seqLo, seqHi uint64
 	path         string
-	keys         []uint64
-	rmi          *core.RMI
+	// keys holds the sorted key block: the exact keys of a v1 segment, or
+	// the sorted deduplicated prefixes of a v2 (string-keyed) segment.
+	keys []uint64
+	rmi  *core.RMI
 	// plan is rmi's compiled read path, captured when the segment is
 	// written or opened so cold-start reads execute the flat plan — the
 	// multi-segment read pipeline is fence check → Bloom filter → plan,
@@ -56,6 +81,13 @@ type segment struct {
 	blocks    *blockIndex
 	diskBytes int64
 
+	// String-keyed (v2) segments only: the exact sorted keys and the codec
+	// read path over them (prefix plan + suffix dictionary). strs is
+	// materialized eagerly at open, like the v1 key array — a string point
+	// lookup must not pay a block decode per probe — and blocks stays nil.
+	strs   []string
+	sindex *core.StringIndex
+
 	// pins counts open scan snapshots holding this segment; zombie marks a
 	// compacted-away segment whose file deletion is deferred until the last
 	// pin releases. Both are guarded by the engine's segMu (pins is atomic
@@ -66,6 +98,21 @@ type segment struct {
 
 func (s *segment) minKey() uint64 { return s.keys[0] }
 func (s *segment) maxKey() uint64 { return s.keys[len(s.keys)-1] }
+
+// isString reports the segment's format: v2 segments always hold at least
+// one key, so a non-nil strs is the discriminator.
+func (s *segment) isString() bool { return s.strs != nil }
+
+func (s *segment) minStr() string { return s.strs[0] }
+func (s *segment) maxStr() string { return s.strs[len(s.strs)-1] }
+
+// numKeys returns the segment's exact key count in its native domain.
+func (s *segment) numKeys() int {
+	if s.isString() {
+		return len(s.strs)
+	}
+	return len(s.keys)
+}
 
 func segmentFileName(seqLo, seqHi uint64) string {
 	return fmt.Sprintf("seg-%016x-%016x.seg", seqLo, seqHi)
@@ -208,11 +255,24 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 	}, nil
 }
 
-// openSegmentFile reads and decodes one committed segment.
+// openSegmentFile reads and decodes one committed segment, dispatching on
+// the version magic: v1 files decode under the original uint64 rules
+// unchanged, v2 files under the codec rules.
 func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(data) >= len(segMagic2) && [8]byte(data[:8]) == segMagic2 {
+		si, filter, err := decodeStringSegment(data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: segment %s: %w", filepath.Base(path), err)
+		}
+		return &segment{
+			seqLo: seqLo, seqHi: seqHi, path: path,
+			keys: si.Prefixes(), rmi: si.RMI(), plan: si.RMI().Plan(), filter: filter,
+			strs: si.Strings(), sindex: si, diskBytes: int64(len(data)),
+		}, nil
 	}
 	keys, rmi, filter, blocks, err := decodeSegment(data)
 	if err != nil {
@@ -222,6 +282,120 @@ func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
 		seqLo: seqLo, seqHi: seqHi, path: path,
 		keys: keys, rmi: rmi, plan: rmi.Plan(), filter: filter,
 		blocks: blocks, diskBytes: int64(len(data)),
+	}, nil
+}
+
+// encodeStringSegment builds the v2 file image for a codec index over
+// sorted unique non-empty string keys plus a Bloom filter over those keys.
+func encodeStringSegment(si *core.StringIndex, filter *bloom.Filter) ([]byte, error) {
+	prefixes := si.Prefixes()
+	body := binenc.AppendUvarint(nil, uint64(len(prefixes)))
+	body = binenc.AppendUvarint(body, prefixes[0])
+	for i := 1; i < len(prefixes); i++ {
+		body = binenc.AppendUvarint(body, prefixes[i]-prefixes[i-1])
+	}
+	rb, err := si.RMI().AppendBinary(nil)
+	if err != nil {
+		return nil, err
+	}
+	body = binenc.AppendBytes(body, rb)
+	body = binenc.AppendBytes(body, filter.AppendBinary(nil))
+	body = binenc.AppendBytes(body, si.Dict().AppendBinary(nil))
+
+	out := make([]byte, 0, len(segMagic2)+len(body)+4)
+	out = append(out, segMagic2[:]...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return out, nil
+}
+
+// decodeStringSegment parses a v2 file image, mirroring decodeSegment's
+// guarantees: errors, never panics, on adversarial input; checksum first;
+// strictly validated prefix deltas; exact decode with trailing bytes
+// rejected; the dictionary decoder cross-checks every reconstructed key's
+// prefix and ordering.
+func decodeStringSegment(data []byte) (si *core.StringIndex, filter *bloom.Filter, err error) {
+	if len(data) < len(segMagic2)+4 || [8]byte(data[:8]) != segMagic2 {
+		return nil, nil, fmt.Errorf("storage: bad segment magic: %w", binenc.ErrCorrupt)
+	}
+	body := data[len(segMagic2) : len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, nil, fmt.Errorf("storage: segment checksum mismatch: %w", binenc.ErrCorrupt)
+	}
+	r := binenc.NewReader(body)
+	n := r.Count(len(body), 1)
+	if r.Err() != nil || n < 1 {
+		return nil, nil, binenc.ErrCorrupt
+	}
+	prefixes := make([]uint64, n)
+	prefixes[0] = r.Uvarint()
+	for i := 1; i < n; i++ {
+		d := r.Uvarint()
+		k := prefixes[i-1] + d
+		if d < 1 || k < prefixes[i-1] {
+			return nil, nil, binenc.ErrCorrupt
+		}
+		prefixes[i] = k
+	}
+	if r.Err() != nil {
+		return nil, nil, r.Err()
+	}
+	rmi, err := core.DecodeRMI(r.Bytes(), prefixes)
+	if err != nil {
+		return nil, nil, err
+	}
+	filter, err = bloom.Decode(binenc.NewReader(r.Bytes()))
+	if err != nil {
+		return nil, nil, err
+	}
+	dict, err := keycodec.DecodeDict(binenc.NewReader(r.Bytes()), prefixes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Err() != nil {
+		return nil, nil, r.Err()
+	}
+	if r.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("storage: %d trailing bytes after segment body: %w", r.Remaining(), binenc.ErrCorrupt)
+	}
+	return core.AssembleStringIndex(rmi, dict), filter, nil
+}
+
+// writeStringSegment is writeSegment for string keys (sorted, unique,
+// non-empty): derive the codec pair, train the prefix RMI, build a Bloom
+// filter over the exact keys, and commit the v2 image crash-safely. The
+// write path assembles the index the same way decode does (no StringRMI
+// tie-break training) so a segment reads identically before and after a
+// restart.
+func writeStringSegment(dir string, seqLo, seqHi uint64, keys []string, cfg core.Config, fpr float64) (*segment, error) {
+	prefixes, dict := keycodec.BuildDict(keys)
+	rmi := core.New(prefixes, cfg)
+	si := core.AssembleStringIndex(rmi, dict)
+	filter := bloom.NewBlocked(len(keys), fpr)
+	for _, k := range keys {
+		filter.Add(k)
+	}
+	img, err := encodeStringSegment(si, filter)
+	if err != nil {
+		return nil, err
+	}
+	final := filepath.Join(dir, segmentFileName(seqLo, seqHi))
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, img); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return &segment{
+		seqLo: seqLo, seqHi: seqHi, path: final,
+		keys: prefixes, rmi: rmi, plan: rmi.Plan(), filter: filter,
+		strs: keys, sindex: si, diskBytes: int64(len(img)),
 	}, nil
 }
 

@@ -3,6 +3,7 @@ package storage
 import (
 	"os"
 	"slices"
+	"sort"
 	"sync"
 
 	"learnedindex/internal/scan"
@@ -27,6 +28,9 @@ type Snapshot struct {
 	eng     *Engine
 	segs    []*segment
 	pending []uint64 // sorted, deduplicated unflushed keys
+	// pendingS is pending for a string-keyed engine; only one of the two is
+	// ever populated.
+	pendingS []string
 }
 
 var snapshotPool = sync.Pool{New: func() any { return new(Snapshot) }}
@@ -67,6 +71,37 @@ func (e *Engine) AcquireSnapshotRange(lo, hi uint64) *Snapshot {
 	return sn
 }
 
+// AcquireSnapshotRangeStr is AcquireSnapshotRange for a string-keyed
+// engine. Strings have no natural +∞, so the upper bound is explicit:
+// bounded restricts the view to [lo, hi), !bounded to keys >= lo (hi is
+// ignored). The delta-before-segments acquisition order and the pinning
+// rules are identical to the uint64 path.
+func (e *Engine) AcquireSnapshotRangeStr(lo, hi string, bounded bool) *Snapshot {
+	sn := snapshotPool.Get().(*Snapshot)
+	sn.eng = e
+
+	e.mu.Lock()
+	if bounded {
+		sn.pendingS = scan.AppendInRange(sn.pendingS[:0], e.pendingS, lo, hi)
+		sn.pendingS = scan.AppendInRange(sn.pendingS, e.flushingS, lo, hi)
+	} else {
+		sn.pendingS = scan.AppendFrom(sn.pendingS[:0], e.pendingS, lo)
+		sn.pendingS = scan.AppendFrom(sn.pendingS, e.flushingS, lo)
+	}
+	e.mu.Unlock()
+	slices.Sort(sn.pendingS)
+	sn.pendingS = slices.Compact(sn.pendingS)
+
+	e.segMu.Lock()
+	segs := *e.segs.Load()
+	for _, s := range segs {
+		s.pins.Add(1)
+	}
+	sn.segs = append(sn.segs[:0], segs...)
+	e.segMu.Unlock()
+	return sn
+}
+
 // Release unpins the snapshot's segments — deleting any compacted-away
 // segment file whose last pin this was — and recycles the snapshot. The
 // unlink syscalls run outside segMu so releases never stall concurrent
@@ -91,6 +126,13 @@ func (sn *Snapshot) Release() {
 		os.Remove(p)
 	}
 	sn.segs = sn.segs[:0]
+	// Drop delta string refs before pooling so a recycled snapshot never
+	// pins key bytes from a finished scan.
+	for i := range sn.pendingS {
+		sn.pendingS[i] = ""
+	}
+	sn.pendingS = sn.pendingS[:0]
+	sn.pending = sn.pending[:0]
 	snapshotPool.Put(sn)
 }
 
@@ -128,12 +170,35 @@ func (sn *Snapshot) SegmentCursor(i int, lo, hi uint64) *SegmentCursor {
 	return getSegmentCursor(s)
 }
 
+// PendingStrings returns the snapshot's sorted, deduplicated unflushed
+// string keys. Shared, read-only.
+func (sn *Snapshot) PendingStrings() []string { return sn.pendingS }
+
+// SegmentStrings returns segment i's sorted string keys plus the codec
+// index as a learned entry positioner when the segment's [min, max] fence
+// overlaps the scan range ([lo, hi) when bounded, keys >= lo otherwise),
+// and (nil, nil) when the fence prunes it. String segments materialize
+// their keys eagerly, so the scan layer wraps the returned pair in a
+// KeysCursor — no lazy block decode exists (or is needed) in this mode.
+func (sn *Snapshot) SegmentStrings(i int, lo, hi string, bounded bool) ([]string, scan.Positioner[string]) {
+	s := sn.segs[i]
+	if (bounded && hi <= s.minStr()) || lo > s.maxStr() {
+		return nil, nil
+	}
+	return s.strs, s.sindex
+}
+
 // Contains reports whether key is in one of the snapshot's segments
 // (fence → Bloom → plan, newest segment first). The pending delta is NOT
 // consulted — this is the segment-membership primitive CountRange uses to
 // correct for delta keys already served.
 func (sn *Snapshot) Contains(key uint64) bool {
 	return containsIn(sn.segs, key)
+}
+
+// ContainsString is Contains for a string-keyed snapshot's segments.
+func (sn *Snapshot) ContainsString(key string) bool {
+	return containsInStr(sn.segs, key)
 }
 
 // CountRange returns the exact number of distinct keys k in [lo, hi)
@@ -171,6 +236,38 @@ func (sn *Snapshot) CountRange(lo, hi uint64) int {
 	return total
 }
 
+// CountRangeStr is CountRange for string keys: exact distinct-key count
+// over [lo, hi) when bounded, or keys >= lo otherwise, by the same
+// position arithmetic (two codec-index lookups per overlapping segment)
+// plus the delta correction.
+func (sn *Snapshot) CountRangeStr(lo, hi string, bounded bool) int {
+	if bounded && hi <= lo {
+		return 0
+	}
+	total := 0
+	for _, s := range sn.segs {
+		if (bounded && hi <= s.minStr()) || lo > s.maxStr() {
+			continue
+		}
+		a := 0
+		if lo > s.minStr() {
+			a = s.sindex.Lookup(lo)
+		}
+		b := len(s.strs)
+		if bounded && hi <= s.maxStr() {
+			b = s.sindex.Lookup(hi)
+		}
+		total += b - a
+	}
+	p := sn.pendingS
+	for i := sort.SearchStrings(p, lo); i < len(p) && (!bounded || p[i] < hi); i++ {
+		if !containsInStr(sn.segs, p[i]) {
+			total++
+		}
+	}
+	return total
+}
+
 // CountRange is Snapshot.CountRange over a throwaway range-restricted
 // snapshot: the engine-level learned COUNT for callers that don't hold a
 // scan open.
@@ -181,4 +278,17 @@ func (e *Engine) CountRange(lo, hi uint64) int {
 	sn := e.AcquireSnapshotRange(lo, hi)
 	defer sn.Release()
 	return sn.CountRange(lo, hi)
+}
+
+// CountRangeStr is Engine.CountRange for string keys.
+func (e *Engine) CountRangeStr(lo, hi string, bounded bool) int {
+	if !e.opts.StringKeys {
+		panic("storage: string read on a uint64-keyed engine")
+	}
+	if bounded && hi <= lo {
+		return 0
+	}
+	sn := e.AcquireSnapshotRangeStr(lo, hi, bounded)
+	defer sn.Release()
+	return sn.CountRangeStr(lo, hi, bounded)
 }

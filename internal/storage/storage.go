@@ -67,6 +67,14 @@ type Options struct {
 	// NoCompactor disables the background compaction goroutine. Compact
 	// can still be called explicitly.
 	NoCompactor bool
+	// StringKeys switches the engine to the string-keyed mode of the key
+	// codec (internal/keycodec): appends/commits take strings, segments are
+	// written in the version-2 format, and reads go through the prefix plan
+	// plus suffix dictionary. An engine (and its directory) is permanently
+	// one mode; Open fails rather than misread a directory of the other
+	// kind, and calling a uint64 method on a string engine (or vice versa)
+	// panics.
+	StringKeys bool
 }
 
 func (o Options) withDefaults() Options {
@@ -120,7 +128,11 @@ type Engine struct {
 	// pending+flushing (before loading the segment list), so a key migrating
 	// through a flush is visible in at least one layer at every instant.
 	flushing []uint64
-	err      error
+	// pendingS/flushingS are the string-mode twins of pending/flushing;
+	// exactly one pair is ever populated, per Options.StringKeys.
+	pendingS  []string
+	flushingS []string
+	err       error
 
 	// Group-commit state, guarded by mu. appendSeq counts accepted write
 	// calls (Append, AppendBatch, Commit enqueue); durableSeq is the
@@ -134,6 +146,7 @@ type Engine struct {
 	syncing    bool
 	syncCond   *sync.Cond
 	cohort     [][]uint64 // queued Commit batches awaiting the next frame
+	cohortS    [][]string // string-mode commit cohort (same plane, same fsync)
 	// flushMu serializes whole flushes (freeze → train → commit → retire),
 	// keeping concurrent Flush calls from racing each other while mu stays
 	// free for appends during the heavy middle part.
@@ -182,6 +195,14 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One directory, one key mode, forever: refuse to serve segments of the
+	// other kind rather than misread them.
+	for _, s := range segs {
+		if s.isString() != opts.StringKeys {
+			return nil, fmt.Errorf("storage: %s holds %s segments but the engine was opened with StringKeys=%v",
+				dir, map[bool]string{true: "string-keyed", false: "uint64-keyed"}[s.isString()], opts.StringKeys)
+		}
+	}
 	e.modelsLoaded.Store(int64(len(segs)))
 	e.segs.Store(&segs)
 	e.nextSeq = nextSeq
@@ -192,22 +213,43 @@ func Open(dir string, opts Options) (*Engine, error) {
 	// segments and retire the replayed files. Ordering is crash-safe: the
 	// segment is committed before any log is deleted, and re-replaying an
 	// already-materialized log just deduplicates.
-	walSeqs, walPaths, err := scanWALFiles(dir)
+	walSeqs, walPaths, otherKind, err := scanWALFiles(dir, opts.StringKeys)
 	if err != nil {
 		return nil, err
 	}
-	var recovered []uint64
-	for _, p := range walPaths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			return nil, err
-		}
-		keys, _ := replayWAL(data)
-		recovered = append(recovered, keys...)
+	if otherKind > 0 {
+		return nil, fmt.Errorf("storage: %s holds %d WAL file(s) of the other key mode (engine opened with StringKeys=%v)",
+			dir, otherKind, opts.StringKeys)
 	}
-	if len(recovered) > 0 {
-		if err := e.materialize(recovered); err != nil {
-			return nil, err
+	if opts.StringKeys {
+		var recovered []string
+		for _, p := range walPaths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			keys, _ := replayWALStrings(data)
+			recovered = append(recovered, keys...)
+		}
+		if len(recovered) > 0 {
+			if err := e.materializeStrings(recovered); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var recovered []uint64
+		for _, p := range walPaths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			keys, _ := replayWAL(data)
+			recovered = append(recovered, keys...)
+		}
+		if len(recovered) > 0 {
+			if err := e.materialize(recovered); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, p := range walPaths {
@@ -216,7 +258,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if len(walSeqs) > 0 {
 		e.walSeq = walSeqs[len(walSeqs)-1] + 1
 	}
-	w, err := newWAL(filepath.Join(dir, walFileName(e.walSeq)))
+	w, err := newWAL(filepath.Join(dir, e.walName(e.walSeq)))
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +356,9 @@ func (e *Engine) Append(keys ...uint64) error {
 // steady-state append allocates nothing beyond the pending list's
 // amortized growth.
 func (e *Engine) AppendBatch(keys []uint64) error {
+	if e.opts.StringKeys {
+		panic("storage: uint64 append on a string-keyed engine")
+	}
 	if len(keys) == 0 {
 		return nil
 	}
@@ -358,8 +403,82 @@ func (e *Engine) Commit(keys ...uint64) error {
 	return e.CommitBatch(keys)
 }
 
+// AppendString logs string keys and buffers them as pending: the string
+// engine's Append. Durable after the next Sync, served after the next
+// Flush.
+func (e *Engine) AppendString(keys ...string) error {
+	return e.AppendStringBatch(keys)
+}
+
+// AppendStringBatch is AppendString without variadic sugar. Records chunk
+// by encoded size (strings are variable-width) instead of key count.
+func (e *Engine) AppendStringBatch(keys []string) error {
+	if !e.opts.StringKeys {
+		panic("storage: string append on a uint64-keyed engine")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed.Load() {
+		return fmt.Errorf("storage: engine closed")
+	}
+	for lo := 0; lo < len(keys); {
+		hi, _ := stringChunkEnd(keys, lo)
+		if err := e.wal.appendStrings(keys[lo:hi]); err != nil {
+			e.err = err
+			return err
+		}
+		e.pendingS = append(e.pendingS, keys[lo:hi]...)
+		lo = hi
+	}
+	e.appendSeq++
+	return nil
+}
+
+// CommitString durably inserts string keys in one group-committed call —
+// the string twin of Commit: the batch joins the string cohort, a leader
+// frames the whole cohort and fsyncs once for everyone. The keys slice
+// must not be mutated until CommitString returns.
+func (e *Engine) CommitString(keys ...string) error {
+	return e.CommitStringBatch(keys)
+}
+
+// CommitStringBatch is CommitString without variadic sugar.
+func (e *Engine) CommitStringBatch(keys []string) error {
+	if !e.opts.StringKeys {
+		panic("storage: string commit on a uint64-keyed engine")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(keys) == 0 {
+		return e.waitDurable(e.appendSeq)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed.Load() {
+		return fmt.Errorf("storage: engine closed")
+	}
+	e.cohortS = append(e.cohortS, keys)
+	e.pendingS = append(e.pendingS, keys...)
+	e.appendSeq++
+	err := e.waitDurable(e.appendSeq)
+	if err == nil {
+		e.commits.Add(1)
+	}
+	return err
+}
+
 // CommitBatch is Commit without variadic sugar.
 func (e *Engine) CommitBatch(keys []uint64) error {
+	if e.opts.StringKeys {
+		panic("storage: uint64 commit on a string-keyed engine")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(keys) == 0 {
@@ -391,6 +510,10 @@ func (e *Engine) CommitBatch(keys []uint64) error {
 // freeze (which must encode queued batches into the log it is about to
 // fsync and rotate past). Errors latch.
 func (e *Engine) drainCohortLocked() {
+	if e.opts.StringKeys {
+		e.drainCohortStrLocked()
+		return
+	}
 	if len(e.cohort) == 0 || e.err != nil {
 		return
 	}
@@ -431,6 +554,92 @@ func (e *Engine) drainCohortLocked() {
 		e.cohort[i] = nil
 	}
 	e.cohort = e.cohort[:0]
+}
+
+// drainCohortStrLocked is drainCohortLocked for the string-mode cohort.
+// Chunk runs by *encoded bytes* (strings are variable-width) so a cohort of
+// long keys still frames under the record limit; the count bound rides
+// along for free because byte size dominates it.
+func (e *Engine) drainCohortStrLocked() {
+	if len(e.cohortS) == 0 || e.err != nil {
+		return
+	}
+	start, bytes := 0, 0
+	flushRun := func(end int) {
+		if e.err != nil || start >= end {
+			return
+		}
+		if err := e.wal.appendStringBatches(e.cohortS[start:end]); err != nil {
+			e.err = err
+		}
+		start, bytes = end, 0
+	}
+	for i, b := range e.cohortS {
+		sz := encodedStringsSize(b)
+		if sz > maxStringChunkBytes {
+			// Oversized batch: close the run, then frame it alone in chunks.
+			flushRun(i)
+			for lo := 0; lo < len(b) && e.err == nil; {
+				hi, _ := stringChunkEnd(b, lo)
+				if err := e.wal.appendStrings(b[lo:hi]); err != nil {
+					e.err = err
+				}
+				lo = hi
+			}
+			start = i + 1
+			continue
+		}
+		if bytes+sz > maxStringChunkBytes {
+			flushRun(i)
+		}
+		bytes += sz
+	}
+	flushRun(len(e.cohortS))
+	for i := range e.cohortS {
+		e.cohortS[i] = nil
+	}
+	e.cohortS = e.cohortS[:0]
+}
+
+// maxStringChunkBytes bounds one string WAL record's encoded payload
+// (~4 MB, well under maxWALRecord), the byte-domain twin of
+// maxAppendChunk.
+const maxStringChunkBytes = 1 << 22
+
+// encodedStringsSize returns the payload bytes keys encode to (lengths +
+// data), excluding the record's count header.
+func encodedStringsSize(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += len(k) + uvarintLen(uint64(len(k)))
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// stringChunkEnd returns the end index of the longest chunk of keys[lo:]
+// whose encoded size fits maxStringChunkBytes (always at least one key, so
+// a single enormous key still frames — the record limit catches true
+// monsters).
+func stringChunkEnd(keys []string, lo int) (hi, size int) {
+	hi = lo
+	for hi < len(keys) {
+		sz := len(keys[hi]) + uvarintLen(uint64(len(keys[hi])))
+		if hi > lo && size+sz > maxStringChunkBytes {
+			break
+		}
+		size += sz
+		hi++
+	}
+	return hi, size
 }
 
 // waitDurable blocks until every write accepted at or before target is
@@ -513,7 +722,7 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return e.err
 	}
-	if len(e.pending) == 0 {
+	if len(e.pending) == 0 && len(e.pendingS) == 0 {
 		e.mu.Unlock()
 		return nil
 	}
@@ -526,9 +735,19 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return err
 	}
-	snap := e.pending
-	e.pending = getPendingBuf()
-	e.flushing = snap // scan-visible while the segment trains off-lock
+	// Freeze the mode's pending list (scan-visible while the segment
+	// trains off-lock).
+	var snap []uint64
+	var snapS []string
+	if e.opts.StringKeys {
+		snapS = e.pendingS
+		e.pendingS = getPendingStrBuf()
+		e.flushingS = snapS
+	} else {
+		snap = e.pending
+		e.pending = getPendingBuf()
+		e.flushing = snap
+	}
 	frozen := e.wal
 	// The frozen log must be durable before the ack plane moves past it:
 	// a Sync arriving after the freeze fsyncs only the new active log, so
@@ -545,7 +764,7 @@ func (e *Engine) Flush() error {
 		e.durableSeq = e.appendSeq
 	}
 	e.syncCond.Broadcast()
-	nw, err := newWAL(filepath.Join(e.dir, walFileName(e.walSeq+1)))
+	nw, err := newWAL(filepath.Join(e.dir, e.walName(e.walSeq+1)))
 	if err != nil {
 		e.err = err
 		e.mu.Unlock()
@@ -555,19 +774,26 @@ func (e *Engine) Flush() error {
 	e.wal = nw
 	e.mu.Unlock()
 
-	if err := e.materialize(snap); err != nil {
+	var merr error
+	if e.opts.StringKeys {
+		merr = e.materializeStrings(snapS)
+	} else {
+		merr = e.materialize(snap)
+	}
+	if merr != nil {
 		// Keep the frozen log file on disk — it is the only durable home
-		// of snap now — but release its descriptor; the engine is failed
-		// (sticky error) and recovery replays the file at the next Open.
-		// e.flushing stays set (and snap stays out of the pool): the acked
-		// keys remain visible to scans on the failed engine.
+		// of the snapshot now — but release its descriptor; the engine is
+		// failed (sticky error) and recovery replays the file at the next
+		// Open. e.flushing/e.flushingS stays set (and the snapshot stays
+		// out of the pool): the acked keys remain visible to scans on the
+		// failed engine.
 		frozen.close()
 		e.mu.Lock()
 		if e.err == nil {
-			e.err = err
+			e.err = merr
 		}
 		e.mu.Unlock()
-		return err
+		return merr
 	}
 	frozen.close()
 	os.Remove(frozen.path)
@@ -575,8 +801,13 @@ func (e *Engine) Flush() error {
 	// scan-visible flushing reference is dropped may the buffer recycle.
 	e.mu.Lock()
 	e.flushing = nil
+	e.flushingS = nil
 	e.mu.Unlock()
-	putPendingBuf(snap)
+	if e.opts.StringKeys {
+		putPendingStrBuf(snapS)
+	} else {
+		putPendingBuf(snap)
+	}
 	e.flushes.Add(1)
 	e.kickCompactor()
 	return nil
@@ -590,6 +821,18 @@ var pendingPool slicepool.Pool[uint64]
 
 func getPendingBuf() []uint64  { return pendingPool.Get() }
 func putPendingBuf(b []uint64) { pendingPool.Put(b) }
+
+// pendingStrPool is pendingPool for the string mode. Entries are zeroed
+// before recycling so a pooled buffer never pins flushed key bytes.
+var pendingStrPool slicepool.Pool[string]
+
+func getPendingStrBuf() []string { return pendingStrPool.Get() }
+func putPendingStrBuf(b []string) {
+	for i := range b {
+		b[i] = ""
+	}
+	pendingStrPool.Put(b)
+}
 
 // materialize dedupes keys against the served segments and commits the
 // novel remainder as one new trained segment. Called from Flush (off the
@@ -618,11 +861,47 @@ func (e *Engine) materialize(keys []uint64) error {
 	return nil
 }
 
-// scanWALFiles returns the wal-*.log files in dir, sorted by sequence.
-func scanWALFiles(dir string) (seqs []uint64, paths []string, err error) {
+// materializeStrings is materialize for string keys: dedupe against the
+// served v2 segments, train a prefix index over the novel remainder, and
+// publish it as one new segment.
+func (e *Engine) materializeStrings(keys []string) error {
+	fresh := slices.Clone(keys)
+	slices.Sort(fresh)
+	fresh = slices.Compact(fresh)
+	segs := *e.segs.Load()
+	fresh = slices.DeleteFunc(fresh, func(k string) bool { return containsInStr(segs, k) })
+	if len(fresh) == 0 {
+		return nil
+	}
+	seq := e.nextSeq
+	seg, err := writeStringSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+	if err != nil {
+		return err
+	}
+	e.nextSeq = seq + 1
+	e.modelsTrained.Add(1)
+	e.segMu.Lock()
+	next := append(slices.Clone(*e.segs.Load()), seg)
+	e.segs.Store(&next)
+	e.segMu.Unlock()
+	return nil
+}
+
+// walName returns the engine's mode-appropriate WAL filename for seq.
+func (e *Engine) walName(seq uint64) string {
+	if e.opts.StringKeys {
+		return walStrFileName(seq)
+	}
+	return walFileName(seq)
+}
+
+// scanWALFiles returns the engine-mode WAL files in dir, sorted by
+// sequence, plus a count of logs of the *other* key mode so Open can
+// reject a mode-mismatched directory instead of ignoring durable keys.
+func scanWALFiles(dir string, strMode bool) (seqs []uint64, paths []string, otherKind int, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	type sw struct {
 		seq  uint64
@@ -630,16 +909,28 @@ func scanWALFiles(dir string) (seqs []uint64, paths []string, err error) {
 	}
 	var all []sw
 	for _, ent := range entries {
-		if seq, ok := parseWALFileName(ent.Name()); ok {
-			all = append(all, sw{seq, filepath.Join(dir, ent.Name())})
+		name := ent.Name()
+		seq, ok := parseWALFileName(name)
+		isStr := false
+		if !ok {
+			seq, ok = parseWALStrFileName(name)
+			isStr = true
 		}
+		if !ok {
+			continue
+		}
+		if isStr != strMode {
+			otherKind++
+			continue
+		}
+		all = append(all, sw{seq, filepath.Join(dir, name)})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
 	for _, s := range all {
 		seqs = append(seqs, s.seq)
 		paths = append(paths, s.path)
 	}
-	return seqs, paths, nil
+	return seqs, paths, otherKind, nil
 }
 
 // containsIn answers membership over a segment list, newest first so the
@@ -662,15 +953,71 @@ func containsIn(segs []*segment, key uint64) bool {
 	return false
 }
 
+// containsInStr is containsIn over string-keyed segments: min/max fence,
+// then the Bloom filter over the exact keys, then the codec index.
+func containsInStr(segs []*segment, key string) bool {
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		if key < s.minStr() || key > s.maxStr() {
+			continue
+		}
+		if !s.filter.MayContain(key) {
+			continue
+		}
+		if s.sindex.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
 // Contains reports whether key is served (flushed). Lock-free.
 func (e *Engine) Contains(key uint64) bool {
+	if e.opts.StringKeys {
+		panic("storage: uint64 read on a string-keyed engine")
+	}
 	return containsIn(*e.segs.Load(), key)
+}
+
+// ContainsString reports whether a string key is served (flushed).
+// Lock-free; the string engine's Contains.
+func (e *Engine) ContainsString(key string) bool {
+	if !e.opts.StringKeys {
+		panic("storage: string read on a uint64-keyed engine")
+	}
+	return containsInStr(*e.segs.Load(), key)
+}
+
+// LookupString returns the global lower-bound position of key over all
+// served string keys: the number of served keys < key, in codec (byte)
+// order. Segments hold disjoint key sets, so per-segment positions sum
+// exactly, with the min/max fence resolving out-of-range segments on two
+// comparisons.
+func (e *Engine) LookupString(key string) int {
+	if !e.opts.StringKeys {
+		panic("storage: string read on a uint64-keyed engine")
+	}
+	total := 0
+	for _, s := range *e.segs.Load() {
+		switch {
+		case key <= s.minStr():
+			// contributes 0
+		case key > s.maxStr():
+			total += len(s.strs)
+		default:
+			total += s.sindex.Lookup(key)
+		}
+	}
+	return total
 }
 
 // ContainsBatch answers Contains for every probe against one captured
 // segment list, writing into out (len(out) must equal len(probes)) — a
 // single consistent view even when a flush publishes mid-batch.
 func (e *Engine) ContainsBatch(probes []uint64, out []bool) {
+	if e.opts.StringKeys {
+		panic("storage: uint64 read on a string-keyed engine")
+	}
 	segs := *e.segs.Load()
 	for i, k := range probes {
 		out[i] = containsIn(segs, k)
@@ -684,6 +1031,9 @@ func (e *Engine) ContainsBatch(probes []uint64, out []bool) {
 // instead of a model run (a probe at or below a segment's minimum
 // contributes 0, one above its maximum contributes the full count).
 func (e *Engine) Lookup(key uint64) int {
+	if e.opts.StringKeys {
+		panic("storage: uint64 read on a string-keyed engine")
+	}
 	total := 0
 	for _, s := range *e.segs.Load() {
 		switch {
@@ -707,6 +1057,9 @@ var posScratch = sync.Pool{New: func() any { return new([]int) }}
 // into out (len(out) must equal len(probes)). Each segment resolves the
 // whole batch with its amortized sorted-batch primitive.
 func (e *Engine) LookupBatchSorted(probes []uint64, out []int) {
+	if e.opts.StringKeys {
+		panic("storage: uint64 read on a string-keyed engine")
+	}
 	for i := range out {
 		out[i] = 0
 	}
@@ -738,25 +1091,32 @@ func (e *Engine) LookupBatchSorted(probes []uint64, out []int) {
 	posScratch.Put(tp)
 }
 
-// Len returns the number of served (flushed) distinct keys.
+// Len returns the number of served (flushed) distinct keys, in either
+// mode.
 func (e *Engine) Len() int {
 	total := 0
 	for _, s := range *e.segs.Load() {
-		total += len(s.keys)
+		total += s.numKeys()
 	}
 	return total
 }
 
 // PendingLen returns how many appended keys await the next Flush
-// (duplicates included).
+// (duplicates included), in either mode.
 func (e *Engine) PendingLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.opts.StringKeys {
+		return len(e.pendingS)
+	}
 	return len(e.pending)
 }
 
 // Keys returns all served keys, sorted ascending — a fresh merged copy.
 func (e *Engine) Keys() []uint64 {
+	if e.opts.StringKeys {
+		panic("storage: uint64 read on a string-keyed engine")
+	}
 	segs := *e.segs.Load()
 	total := 0
 	for _, s := range segs {
@@ -765,6 +1125,25 @@ func (e *Engine) Keys() []uint64 {
 	out := make([]uint64, 0, total)
 	for _, s := range segs {
 		out = append(out, s.keys...)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// KeysStrings returns all served string keys, sorted ascending — a fresh
+// merged copy.
+func (e *Engine) KeysStrings() []string {
+	if !e.opts.StringKeys {
+		panic("storage: string read on a uint64-keyed engine")
+	}
+	segs := *e.segs.Load()
+	total := 0
+	for _, s := range segs {
+		total += len(s.strs)
+	}
+	out := make([]string, 0, total)
+	for _, s := range segs {
+		out = append(out, s.strs...)
 	}
 	slices.Sort(out)
 	return out
@@ -783,11 +1162,11 @@ func (e *Engine) Stats() Stats {
 		Commits:       int(e.commits.Load()),
 	}
 	for _, s := range segs {
-		st.Keys += len(s.keys)
+		st.Keys += s.numKeys()
 		st.DiskBytes += s.diskBytes
 	}
 	e.mu.Lock()
-	st.PendingKeys = len(e.pending)
+	st.PendingKeys = len(e.pending) + len(e.pendingS)
 	if e.wal != nil {
 		st.WALBytes = e.wal.size
 	}
@@ -888,8 +1267,15 @@ func (e *Engine) compactOnce() (bool, error) {
 
 	// Heavy work off the lock: merge the disjoint sorted runs and train
 	// the replacement. Readers keep serving the old list meanwhile.
-	merged := mergeRuns(run)
-	seg, err := writeSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
+	var seg *segment
+	var err error
+	if e.opts.StringKeys {
+		merged := mergeRunsStr(run)
+		seg, err = writeStringSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
+	} else {
+		merged := mergeRuns(run)
+		seg, err = writeSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
+	}
 	if err != nil {
 		e.mu.Lock()
 		if e.err == nil {
@@ -953,6 +1339,46 @@ func mergeRuns(run []*segment) []uint64 {
 				continue
 			}
 			if k := run[s].keys[h]; best < 0 || k < bk {
+				best, bk = s, k
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		hs[best]++
+		// Runs are disjoint by the segment invariant; the adjacency check
+		// keeps a violated invariant from ever minting duplicate keys.
+		if n := len(out); n > 0 && out[n-1] == bk {
+			continue
+		}
+		out = append(out, bk)
+	}
+}
+
+// mergeRunsStr is mergeRuns over string-keyed segments: the same capped
+// head-comparison k-way merge, producing the exact sorted unique key set
+// the replacement segment retains.
+func mergeRunsStr(run []*segment) []string {
+	total := 0
+	for _, s := range run {
+		total += len(s.strs)
+	}
+	out := make([]string, 0, total)
+	var heads [16]int
+	var hs []int
+	if len(run) <= len(heads) {
+		hs = heads[:len(run)]
+	} else {
+		hs = make([]int, len(run))
+	}
+	for {
+		best := -1
+		var bk string
+		for s, h := range hs {
+			if h >= len(run[s].strs) {
+				continue
+			}
+			if k := run[s].strs[h]; best < 0 || k < bk {
 				best, bk = s, k
 			}
 		}

@@ -372,7 +372,7 @@ func TestEngineRecoversMultipleWALs(t *testing.T) {
 	}
 	// The replayed logs must be retired; exactly one fresh active log
 	// remains, with a sequence past both replayed ones.
-	seqs, paths, err := scanWALFiles(dir)
+	seqs, paths, _, err := scanWALFiles(dir, false)
 	if err != nil {
 		t.Fatal(err)
 	}

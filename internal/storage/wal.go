@@ -44,11 +44,27 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func walFileName(seq uint64) string { return fmt.Sprintf("wal-%016x.log", seq) }
 
+// walStrFileName names a string-keyed engine's logs. The distinct prefix is
+// the mode tag: records of the two key kinds are not self-describing, so
+// the filename keeps a uint64-mode Open from ever replaying string frames
+// (and vice versa) — a mode mismatch is an error at Open, not a
+// misdecoded key.
+func walStrFileName(seq uint64) string { return fmt.Sprintf("wals-%016x.log", seq) }
+
 // parseWALFileName extracts the sequence number, rejecting anything that
 // does not match the canonical name.
 func parseWALFileName(name string) (seq uint64, ok bool) {
 	n, err := fmt.Sscanf(name, "wal-%016x.log", &seq)
 	if err != nil || n != 1 || name != walFileName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// parseWALStrFileName is parseWALFileName for string-keyed logs.
+func parseWALStrFileName(name string) (seq uint64, ok bool) {
+	n, err := fmt.Sscanf(name, "wals-%016x.log", &seq)
+	if err != nil || n != 1 || name != walStrFileName(seq) {
 		return 0, false
 	}
 	return seq, true
@@ -144,6 +160,74 @@ func (w *wal) appendBatches(batches [][]uint64) error {
 	err := w.writeFrame(payload)
 	walBufPool.Put(payload)
 	return err
+}
+
+// appendStrings frames string keys as one record. String payloads carry
+// each key length-prefixed:
+//
+//	payload = uvarint keyCount, then keyCount × (uvarint len, len bytes)
+//
+// and live only in wals-*.log files (see walStrFileName), so the two
+// payload grammars never meet the wrong decoder.
+func (w *wal) appendStrings(keys []string) error {
+	return w.appendStringBatches([][]string{keys})
+}
+
+// appendStringBatches is appendBatches for string keys: the whole cohort
+// shares one frame, checksum, and fsync. The caller keeps batches
+// non-empty and the total encoded size within maxWALRecord.
+func (w *wal) appendStringBatches(batches [][]string) error {
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	payload := walBufPool.Get()
+	payload = binenc.AppendUvarint(payload, uint64(total))
+	for _, b := range batches {
+		for _, k := range b {
+			payload = binenc.AppendUvarint(payload, uint64(len(k)))
+			payload = append(payload, k...)
+		}
+	}
+	err := w.writeFrame(payload)
+	walBufPool.Put(payload)
+	return err
+}
+
+// replayWALStrings is replayWAL for string-keyed logs: intact records
+// decode to their keys, the first invalid frame truncates the tail, and
+// arbitrary input never panics or surfaces a partially decoded frame.
+func replayWALStrings(data []byte) (keys []string, good int64) {
+	off := 0
+	for {
+		if len(data)-off < walHeaderLen {
+			return keys, int64(off)
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxWALRecord || len(data)-off-walHeaderLen < plen {
+			return keys, int64(off)
+		}
+		payload := data[off+walHeaderLen : off+walHeaderLen+plen]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return keys, int64(off)
+		}
+		r := binenc.NewReader(payload)
+		n := r.Count(plen, 1)
+		recKeys := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			l := r.Uvarint()
+			if r.Err() != nil || l > uint64(r.Remaining()) {
+				break
+			}
+			recKeys = append(recKeys, string(r.Take(int(l))))
+		}
+		if r.Err() != nil || r.Remaining() != 0 || len(recKeys) != n {
+			return keys, int64(off)
+		}
+		keys = append(keys, recKeys...)
+		off += walHeaderLen + plen
+	}
 }
 
 // writeFrame checksums payload and writes the framed record into the

@@ -25,12 +25,27 @@
 //	it.Close()
 //	n := st.CountRange(a, b)          // exact, zero iteration
 //
+// String keys flow through the same stack end-to-end via the
+// order-preserving key codec (8-byte big-endian prefixes + a suffix
+// dictionary for exact disambiguation): NewStringStore/OpenStringStore
+// build a string-keyed Store whose InsertString/LookupString/ScanString
+// mirror the uint64 surface in codec (byte) order, including durable
+// persistence (version-2 segment files), crash recovery, and learned
+// COUNT:
+//
+//	st := learnedindex.NewStringStore(urls, cfg, learnedindex.StoreOptions{})
+//	st.InsertString("https://example.com/x")
+//	st.Flush()
+//	it := st.ScanString("https://a.", "https://b.") // codec-order stream
+//	n := st.CountRangeString("https://a.", "https://b.")
+//
 // See the examples/ directory for runnable scenarios and cmd/lix-bench for
 // the paper's full evaluation suite.
 package learnedindex
 
 import (
 	"learnedindex/internal/core"
+	"learnedindex/internal/keycodec"
 	"learnedindex/internal/scan"
 	"learnedindex/internal/serve"
 	"learnedindex/internal/storage"
@@ -60,6 +75,15 @@ type (
 	StringRMI = core.StringRMI
 	// StringConfig specifies a StringRMI.
 	StringConfig = core.StringConfig
+	// StringIndex is the codec-backed string index: a compiled prefix-RMI
+	// plan over order-preserving 8-byte key prefixes plus a suffix
+	// dictionary for exact tie-breaks (with a StringRMI revived as the
+	// last-mile model when prefixes collide heavily). The building block of
+	// the string-keyed Store and of version-2 segment files.
+	StringIndex = core.StringIndex
+	// KeyDict is the codec's suffix dictionary: exact keys reconstructible
+	// from the deduplicated prefix array plus per-key length and suffix.
+	KeyDict = keycodec.Dict
 
 	// DeltaIndex adds insert support through the buffered-merge strategy of
 	// Appendix D.1. It is single-goroutine only; use Store for concurrency.
@@ -96,7 +120,11 @@ type (
 	// Next/Key (or NextBatch), reposition with Seek, and always Close it —
 	// Close releases pooled state and, on a persistent Store, unpins the
 	// storage snapshot so compaction can reclaim superseded segment files.
-	Iterator = scan.Iterator
+	Iterator = scan.Iterator[uint64]
+	// StringIterator is Iterator for a string-keyed Store's ScanString /
+	// ScanStringFrom: the same loser-tree merge instantiated over strings,
+	// streaming in codec (byte) order.
+	StringIterator = scan.Iterator[string]
 )
 
 // Point index (§4): learned hash functions.
@@ -160,6 +188,28 @@ var (
 	// crash-recovers) the persistent store rooted there, serving lookups
 	// from deserialized segment models without retraining.
 	OpenStore = serve.Open
+	// NewStringStore builds a string-keyed Store over the key codec:
+	// InsertString/LookupString/ContainsString/ScanString and friends, with
+	// the same consistency model as NewStore. Panics on a storage error
+	// when StoreOptions.Dir is set — prefer OpenStringStore then.
+	NewStringStore = serve.NewString
+	// OpenStringStore is NewStringStore returning engine errors; with
+	// StoreOptions.Dir set the store persists string keys in version-2
+	// segment files and recovers them (WAL replay included) at open.
+	OpenStringStore = serve.OpenString
+	// NewStringIndex trains a StringIndex over string keys (any order,
+	// duplicates dropped): the single-index codec surface — Lookup answers
+	// lower-bound positions in byte order, RangeScan answers [lo, hi)
+	// position ranges.
+	NewStringIndex = core.NewStringIndex
+	// KeyPrefix is the codec's order-preserving 8-byte prefix map:
+	// a < b implies KeyPrefix(a) <= KeyPrefix(b).
+	KeyPrefix = keycodec.Prefix
+	// CompositeKey flattens key parts into one order-preserving string
+	// (tuple order = byte order), for composite keys over the codec.
+	CompositeKey = keycodec.Composite
+	// SplitCompositeKey inverts CompositeKey, validating the encoding.
+	SplitCompositeKey = keycodec.SplitComposite
 	// NewLearnedHash trains a CDF hash targeting a slot count (§4.1).
 	NewLearnedHash = core.NewLearnedHash
 	// NewLearnedHashFromRMI reuses a trained RMI as the CDF model.
