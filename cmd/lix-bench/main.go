@@ -6,10 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, scan, stringkeys, all (everything except the
-// GRU-training path of figure10; add -gru to include it). serve, storage,
-// compiled, searchshootout, writepath, scan, and stringkeys are this
-// repo's extensions beyond the paper: serve is
+// searchshootout, writepath, scan, stringkeys, obs, all (everything except
+// the GRU-training path of figure10; add -gru to include it). serve,
+// storage, compiled, searchshootout, writepath, scan, stringkeys, and obs
+// are this repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
 // on-disk lookup throughput, and cold-open latency vs the in-memory RMI
@@ -25,7 +25,11 @@
 // stringkeys is the order-preserving key codec end to end — string
 // membership, lower-bound lookup, range scans, and learned COUNT through
 // core.StringIndex and the string-keyed Store vs map[string]struct{} and
-// sorted-slice + sort.SearchStrings baselines.
+// sorted-slice + sort.SearchStrings baselines; obs is the metrics-plane
+// overhead probe — single-key lookup, batch-16, scan Next, and durable
+// commit, with the build (metrics=on vs -tags noobs metrics=off) baked
+// into each config name so two runs merged via bestof expose the on/off
+// delta per surface.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -81,7 +85,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|all>...")
 		fmt.Fprintln(os.Stderr, "       lix-bench [-regress pct] diff <priorDir> <freshDir>")
 		os.Exit(2)
 	}
@@ -166,8 +170,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.Scan(opts)
 	case "stringkeys":
 		experiments.StringKeys(opts)
+	case "obs":
+		experiments.Obs(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs"} {
 			run(e, opts, gru)
 		}
 		return

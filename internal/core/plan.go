@@ -2,6 +2,7 @@ package core
 
 import (
 	"learnedindex/internal/ml"
+	"learnedindex/internal/obs"
 	"learnedindex/internal/search"
 )
 
@@ -68,6 +69,17 @@ type Plan struct {
 
 	search     searchFunc
 	searchKind SearchKind
+
+	// Model-health instrumentation (§3.3's error bounds, observed live):
+	// deterministically sampled lookups record the model's actual
+	// prediction error and the last-mile window width, so drift between
+	// the trained bounds and served traffic is visible without retracing.
+	// The histograms are the plan's only mutable state — atomic, so the
+	// plan stays safe for concurrent use — and compile out under -tags
+	// noobs.
+	obsErr     *obs.Histogram // |true position − raw prediction|, sampled
+	obsLen     *obs.Histogram // last-mile window width hi−lo, sampled
+	trainedErr int            // max over leaves of the trained error bound
 }
 
 // planLeaf is the packed 32-byte leaf record of the compiled plan: model
@@ -139,6 +151,8 @@ func (r *RMI) compile() *Plan {
 		searchKind: r.cfg.Search,
 		search:     resolveSearch(r.cfg.Search),
 		topSize:    len(r.leaves),
+		obsErr:     obs.NewHistogram(),
+		obsLen:     obs.NewHistogram(),
 	}
 	if len(r.cfg.StageSizes) > 0 {
 		p.topSize = r.cfg.StageSizes[0]
@@ -222,6 +236,14 @@ func (r *RMI) compile() *Plan {
 			}
 		}
 	})
+	for j := range p.leaves {
+		if b := int(p.leaves[j].maxErr); b > p.trainedErr {
+			p.trainedErr = b
+		}
+		if b := -int(p.leaves[j].minErr); b > p.trainedErr {
+			p.trainedErr = b
+		}
+	}
 	return p
 }
 
@@ -282,8 +304,36 @@ func (p *Plan) Lookup(key uint64) int {
 	rawPred := int(lf.a*x + lf.b)
 	lo, hi := clampWindow(rawPred+int(lf.minErr), rawPred+int(lf.maxErr)+1, p.n)
 	pred := clampInt(rawPred, 0, p.n-1)
-	return p.search(p.keys, key, lo, hi, pred, int(lf.sigma))
+	pos := p.search(p.keys, key, lo, hi, pred, int(lf.sigma))
+	if obs.Enabled && obs.SampleKey(key) {
+		p.observe(pos, rawPred, hi-lo)
+	}
+	return pos
 }
+
+// observe records one sampled lookup's model health: the observed
+// prediction error against the raw (unclamped) prediction — directly
+// comparable to the trained per-leaf bounds, which are relative to the
+// same raw prediction — and the last-mile window width the search had to
+// cover.
+func (p *Plan) observe(pos, rawPred, window int) {
+	err := pos - rawPred
+	if err < 0 {
+		err = -err
+	}
+	p.obsErr.Observe(uint64(err))
+	p.obsLen.Observe(uint64(window))
+}
+
+// ObsModelErr snapshots the sampled observed-model-error histogram.
+func (p *Plan) ObsModelErr() obs.HistSnapshot { return p.obsErr.Snapshot() }
+
+// ObsSearchLen snapshots the sampled last-mile window-width histogram.
+func (p *Plan) ObsSearchLen() obs.HistSnapshot { return p.obsLen.Snapshot() }
+
+// TrainedErrBound returns the largest per-leaf trained error bound: the
+// compile-time promise the observed error histogram is judged against.
+func (p *Plan) TrainedErrBound() int { return p.trainedErr }
 
 // Contains reports whether key is stored.
 func (p *Plan) Contains(key uint64) bool {
@@ -411,6 +461,15 @@ func (p *Plan) lookupGroup(group []uint64, out []int) {
 			pos++
 		}
 		out[i] = p.resolveBoundary(group[i], pos)
+	}
+	// Model health: sample the group's first key (the bisection consumed
+	// the window bounds, so the sampled key's leaf window is recomputed —
+	// one extra packed-record load on 1-in-64 of groups).
+	if obs.Enabled && hybridMask&1 == 0 && obs.SampleKey(group[0]) {
+		lf := &p.leaves[idx[0]]
+		rawPred := int(lf.a*xs[0] + lf.b)
+		wlo, whi := clampWindow(rawPred+int(lf.minErr), rawPred+int(lf.maxErr)+1, p.n)
+		p.observe(out[0], rawPred, whi-wlo)
 	}
 }
 

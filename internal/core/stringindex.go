@@ -143,5 +143,10 @@ func (si *StringIndex) Dict() *keycodec.Dict { return si.dict }
 // RMI returns the prefix-level RMI (for serialization).
 func (si *StringIndex) RMI() *RMI { return si.rmi }
 
+// Plan returns the live compiled prefix plan — the one Lookup runs, so its
+// sampled model-health histograms reflect real traffic. (RMI().Plan()
+// would compile a fresh plan with empty observations.)
+func (si *StringIndex) Plan() *Plan { return si.plan }
+
 // HasTieBreakModel reports whether a StringRMI tie-break model was trained.
 func (si *StringIndex) HasTieBreakModel() bool { return si.srmi != nil }

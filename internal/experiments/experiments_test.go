@@ -361,3 +361,22 @@ func TestStringKeysShapeHolds(t *testing.T) {
 		t.Fatal("table not rendered")
 	}
 }
+
+func TestObsShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := Obs(o)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerOpNs <= 0 || r.Ops <= 0 {
+			t.Errorf("%s: no measurement (%+v)", r.Name, r)
+		}
+		if !strings.Contains(r.Name, "metrics=") {
+			t.Errorf("%s: config name does not carry the build tag", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "Metrics-plane overhead") {
+		t.Fatal("table not rendered")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/obs"
+	"learnedindex/internal/serve"
+)
+
+// ObsRow is one measured metrics-overhead configuration.
+type ObsRow struct {
+	Name    string
+	PerOpNs float64
+	Ops     int
+}
+
+// obsBuildTag names the build this binary carries in its config strings:
+// the metrics plane is compiled in ("metrics=on") or stubbed out by
+// -tags noobs ("metrics=off").
+func obsBuildTag() string {
+	if obs.Enabled {
+		return "metrics=on"
+	}
+	return "metrics=off"
+}
+
+// Obs measures what the always-on metrics plane costs on the hot
+// serving surfaces: single-key lookup, the 16-probe batch pipeline
+// (core.Plan.LookupBatch — the gate row — plus the same batches through
+// the serve layer), the streaming scan's per-key Next, and the
+// group-committed durable insert.
+//
+// One run measures one build. Run the default build and a -tags noobs
+// build into separate -jsondir directories and merge them with
+// `lix-bench bestof`: the build is baked into every config name, so the
+// merged BENCH_obs.json carries both sides and the on/off delta per
+// surface IS the plane's overhead. The repo's gate is the batch row —
+// the instrumented build must stay within 3% of noobs ns/op there.
+func Obs(o Options) []ObsRow {
+	o = o.withDefaults()
+	tag := obsBuildTag()
+	var rows []ObsRow
+	rep := &bench.Report{Experiment: "obs", N: o.N, Probes: o.Probes}
+
+	keys := cachedKeys("lognormal", o.N, o.Seed, func() data.Keys { return data.LognormalPaper(o.N, o.Seed) })
+	st := serve.New(keys, core.Config{}, serve.Options{Shards: 8, MergeThreshold: 1 << 30})
+	defer st.Close()
+
+	// Probe stream: the key set walked with a Fibonacci stride, so probes
+	// hit every shard without the branch predictor learning a direction.
+	probes := make([]uint64, o.Probes)
+	for i := range probes {
+		probes[i] = keys[(uint64(i)*11400714819323198485)%uint64(len(keys))]
+	}
+
+	add := func(name string, perOp float64, ops int) {
+		rows = append(rows, ObsRow{Name: name, PerOpNs: perOp, Ops: ops})
+		rep.Add(bench.ReportRow{Config: name, NsPerOp: perOp})
+	}
+
+	// Surface 1: single-key lookups.
+	var sink int
+	best := time.Duration(0)
+	for rd := 0; rd < o.Rounds; rd++ {
+		start := time.Now()
+		for _, k := range probes {
+			sink += st.Lookup(k)
+		}
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	add("lookup/"+tag, float64(best.Nanoseconds())/float64(len(probes)), len(probes))
+
+	// Surface 2: 16-probe batches through core.Plan.LookupBatch — the
+	// group-interleaved pipeline the <3% overhead gate names, driven
+	// directly so the measurement isolates the instrumented hot loop from
+	// serve-layer shard grouping. Per-op is per probe, not per batch.
+	plan := core.New(keys, core.DefaultConfig(o.N/2000)).Plan()
+	out16 := make([]int, 16)
+	best = 0
+	nb := len(probes) / 16 * 16
+	for rd := 0; rd < o.Rounds; rd++ {
+		start := time.Now()
+		for i := 0; i < nb; i += 16 {
+			plan.LookupBatch(probes[i:i+16], out16)
+			sink += out16[0]
+		}
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	add("batch16/"+tag, float64(best.Nanoseconds())/float64(nb), nb)
+
+	// Surface 2b: the same 16-probe batches through Store.LookupBatch, so
+	// the serve layer's own per-batch accounting (counter, size histogram,
+	// sampled timing) shows up as the delta between this row and batch16.
+	best = 0
+	for rd := 0; rd < o.Rounds; rd++ {
+		start := time.Now()
+		for i := 0; i < nb; i += 16 {
+			sink += len(st.LookupBatch(probes[i : i+16]))
+		}
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	add("serve-batch16/"+tag, float64(best.Nanoseconds())/float64(nb), nb)
+
+	// Surface 3: streaming scan Next over ~N/4 keys.
+	lo, hi := keys[o.N/4], keys[o.N/2]
+	best = 0
+	scanned := 0
+	for rd := 0; rd < o.Rounds; rd++ {
+		start := time.Now()
+		it := st.Scan(lo, hi)
+		n := 0
+		for it.Next() {
+			n++
+		}
+		it.Close()
+		scanned = n
+		if el := time.Since(start); best == 0 || el < best {
+			best = el
+		}
+	}
+	if scanned == 0 {
+		scanned = 1
+	}
+	add("scan-next/"+tag, float64(best.Nanoseconds())/float64(scanned), scanned)
+
+	// Surface 4: group-committed durable inserts (8-key batches against a
+	// persistent store; fsync-bound, so one round tells the story).
+	commits := o.Probes / 1000
+	if commits < 64 {
+		commits = 64
+	}
+	if commits > 512 {
+		commits = 512
+	}
+	dir, err := os.MkdirTemp(o.Dir, "lix-obs-*")
+	if err != nil {
+		panic(fmt.Sprintf("obs experiment: %v", err))
+	}
+	ps, err := serve.Open(nil, core.Config{}, serve.Options{Dir: dir, MergeThreshold: 1 << 30})
+	if err != nil {
+		panic(fmt.Sprintf("obs experiment: open: %v", err))
+	}
+	batch := make([]uint64, 8)
+	start := time.Now()
+	for c := 0; c < commits; c++ {
+		for j := range batch {
+			batch[j] = uint64(c)*8 + uint64(j)
+		}
+		if err := ps.InsertDurable(batch...); err != nil {
+			panic(fmt.Sprintf("obs experiment: commit: %v", err))
+		}
+	}
+	wall := time.Since(start)
+	ps.Close()
+	os.RemoveAll(dir)
+	add("durable-commit/"+tag, float64(wall.Nanoseconds())/float64(commits), commits)
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("Metrics-plane overhead, this build %s (%d keys, %d probes; merge an on and a noobs run with `lix-bench bestof` to see the delta)",
+			tag, o.N, o.Probes),
+		Headers: []string{"Config", "ns/op", "ops"},
+	}
+	for _, r := range rows {
+		t.Add(r.Name, fmt.Sprintf("%.1f", r.PerOpNs), fmt.Sprintf("%d", r.Ops))
+	}
+	render(o, t)
+	emitJSON(o, rep)
+	_ = sink
+	return rows
+}

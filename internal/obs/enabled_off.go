@@ -1,0 +1,7 @@
+//go:build noobs
+
+package obs
+
+// Enabled is the compiled-out build: `if obs.Enabled { ... }` call sites
+// are eliminated, and Histogram is a no-op shim.
+const Enabled = false

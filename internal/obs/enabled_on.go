@@ -1,0 +1,8 @@
+//go:build !noobs
+
+package obs
+
+// Enabled reports whether hot-path instrumentation is compiled in. Guard
+// per-operation metric work with `if obs.Enabled { ... }`: under -tags
+// noobs the constant is false and the branch is dead-code-eliminated.
+const Enabled = true

@@ -1,0 +1,23 @@
+//go:build noobs
+
+package obs
+
+import "time"
+
+// Histogram is the compiled-out no-op shim: Observe vanishes at the call
+// site and Snapshot is always empty.
+type Histogram struct{}
+
+// NewHistogram returns the shared no-op histogram.
+func NewHistogram() *Histogram { return &noopHist }
+
+var noopHist Histogram
+
+// Observe is a no-op.
+func (h *Histogram) Observe(uint64) {}
+
+// ObserveDuration is a no-op.
+func (h *Histogram) ObserveDuration(time.Duration) {}
+
+// Snapshot returns an empty view.
+func (h *Histogram) Snapshot() HistSnapshot { return HistSnapshot{} }

@@ -1,0 +1,50 @@
+//go:build !noobs
+
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary log-bucketed histogram (see histogram.go
+// for the bucket layout). Observe is one atomic add — no locks, no
+// allocation — and Snapshot reads the buckets lock-free: concurrent
+// observations land in whichever side of the copy they race into, which is
+// the usual monotone-counter metrics contract. The zero value is ready to
+// use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// Observe records one value: a single atomic add into its bucket.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketIndex(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Snapshot copies the non-empty buckets into a point-in-time view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: c})
+		s.Count += c
+		s.Sum += float64(c) * (float64(lo) + float64(hi)) / 2
+	}
+	return s
+}

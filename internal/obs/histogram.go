@@ -1,0 +1,141 @@
+package obs
+
+import "math/bits"
+
+// Bucket layout shared by both builds: values 0..7 get exact unit buckets,
+// and every value above is log-spaced with four sub-buckets per power of
+// two — bucket width is at most a quarter of the bucket's base, so any
+// estimate read off the histogram (quantile, max) is exact to within one
+// bucket width (<25% relative error). The boundaries are fixed at compile
+// time: no configuration, no resizing, and merging two histograms is
+// bucket-wise addition.
+const (
+	histExactBuckets = 8   // values 0..7, one bucket each
+	histSubBuckets   = 4   // sub-buckets per octave above 7
+	histBuckets      = 252 // 8 exact + 61 octaves (exp 3..63) x 4
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histExactBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1        // 3..63
+	frac := (v >> (exp - 2)) & 0b11 // top two bits below the leading one
+	return histExactBuckets + (exp-3)*histSubBuckets + int(frac)
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] of bucket idx.
+func bucketBounds(idx int) (lo, hi uint64) {
+	if idx < histExactBuckets {
+		return uint64(idx), uint64(idx)
+	}
+	e := uint(3 + (idx-histExactBuckets)/histSubBuckets)
+	f := uint64((idx - histExactBuckets) % histSubBuckets)
+	lo = 1<<e + f<<(e-2)
+	hi = lo + 1<<(e-2) - 1
+	return lo, hi
+}
+
+// HistBucket is one non-empty bucket of a snapshot: the inclusive value
+// range [Lo, Hi] and how many observations landed in it.
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: only the non-empty
+// buckets, in ascending value order. Sum is approximated from bucket
+// midpoints (Observe is a single atomic add; the exact sum is not
+// tracked), so Mean carries the same <1-bucket-width error as quantiles.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Merge folds other into h bucket-wise: the result is exactly the
+// histogram of the union of both observation streams.
+func (h *HistSnapshot) Merge(other HistSnapshot) {
+	if other.Count == 0 {
+		return
+	}
+	if h.Count == 0 {
+		h.Count = other.Count
+		h.Sum = other.Sum
+		h.Buckets = append(h.Buckets[:0], other.Buckets...)
+		return
+	}
+	merged := make([]HistBucket, 0, len(h.Buckets)+len(other.Buckets))
+	i, j := 0, 0
+	for i < len(h.Buckets) && j < len(other.Buckets) {
+		a, b := h.Buckets[i], other.Buckets[j]
+		switch {
+		case a.Lo < b.Lo:
+			merged = append(merged, a)
+			i++
+		case a.Lo > b.Lo:
+			merged = append(merged, b)
+			j++
+		default:
+			a.Count += b.Count
+			merged = append(merged, a)
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, h.Buckets[i:]...)
+	merged = append(merged, other.Buckets[j:]...)
+	h.Buckets = merged
+	h.Count += other.Count
+	h.Sum += other.Sum
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket holding that rank. The estimate is within one bucket
+// width of the true order statistic.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count-1)
+	var cum float64
+	for _, b := range h.Buckets {
+		next := cum + float64(b.Count)
+		if rank < next || b == h.Buckets[len(h.Buckets)-1] {
+			// Interpolate the rank's position inside this bucket.
+			frac := (rank - cum + 0.5) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		cum = next
+	}
+	return 0
+}
+
+// Max returns the upper bound of the highest non-empty bucket: an estimate
+// of the maximum observation, never below it by more than a bucket width
+// (and never above the bucket's cap).
+func (h *HistSnapshot) Max() uint64 {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi
+}
+
+// Mean returns the midpoint-approximated mean observation.
+func (h *HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries checks that bucketIndex and bucketBounds are exact
+// inverses: every value maps into a bucket whose [Lo, Hi] contains it,
+// boundaries are contiguous, and bucket width never exceeds a quarter of
+// the bucket's low bound (above the exact range).
+func TestBucketBoundaries(t *testing.T) {
+	// Exact range: identity buckets.
+	for v := uint64(0); v < histExactBuckets; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		lo, hi := bucketBounds(int(v))
+		if lo != v || hi != v {
+			t.Fatalf("bucketBounds(%d) = [%d,%d], want [%d,%d]", v, lo, hi, v, v)
+		}
+	}
+	// Every bucket: bounds round-trip through bucketIndex at both ends.
+	prevHi := uint64(0)
+	for idx := 0; idx < histBuckets; idx++ {
+		lo, hi := bucketBounds(idx)
+		if idx > 0 && lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d (contiguous)", idx, lo, prevHi+1)
+		}
+		if bucketIndex(lo) != idx {
+			t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, bucketIndex(lo), idx)
+		}
+		if bucketIndex(hi) != idx {
+			t.Fatalf("bucketIndex(hi=%d) = %d, want %d", hi, bucketIndex(hi), idx)
+		}
+		if idx >= histExactBuckets {
+			if width := hi - lo + 1; width > lo/4+1 {
+				t.Fatalf("bucket %d [%d,%d] width %d exceeds lo/4", idx, lo, hi, width)
+			}
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxUint64 {
+		t.Fatalf("last bucket ends at %d, want MaxUint64", prevHi)
+	}
+	// Sampled values across the range.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d [%d,%d]", v, idx, lo, hi)
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging two snapshots equals the snapshot
+// of the combined observation stream.
+func TestHistogramMerge(t *testing.T) {
+	if !Enabled {
+		t.Skip("histograms compiled out under -tags noobs")
+	}
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(60))
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged.Count != want.Count {
+		t.Fatalf("merged count %d, want %d", merged.Count, want.Count)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged has %d buckets, want %d", len(merged.Buckets), len(want.Buckets))
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %+v, want %+v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	if math.Abs(merged.Sum-want.Sum) > 1e-6*math.Abs(want.Sum) {
+		t.Fatalf("merged sum %g, want %g", merged.Sum, want.Sum)
+	}
+	// Merging into an empty snapshot copies; merging empty is a no-op.
+	var empty HistSnapshot
+	empty.Merge(want)
+	if empty.Count != want.Count || len(empty.Buckets) != len(want.Buckets) {
+		t.Fatalf("merge into empty lost data")
+	}
+	before := want.Count
+	want.Merge(HistSnapshot{})
+	if want.Count != before {
+		t.Fatalf("merging empty changed count")
+	}
+}
+
+// TestHistogramQuantile checks quantile estimates land within one bucket
+// width of the true order statistic of the observed stream.
+func TestHistogramQuantile(t *testing.T) {
+	if !Enabled {
+		t.Skip("histograms compiled out under -tags noobs")
+	}
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 20000)
+	for i := range vals {
+		// Mixed regimes: exact range, mid, heavy tail.
+		switch i % 3 {
+		case 0:
+			vals[i] = uint64(rng.Intn(8))
+		case 1:
+			vals[i] = uint64(rng.Intn(100000))
+		default:
+			vals[i] = rng.Uint64() >> 20
+		}
+		h.Observe(vals[i])
+	}
+	// True order statistics.
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * float64(len(sorted)-1))
+		truth := sorted[rank]
+		est := snap.Quantile(q)
+		idx := bucketIndex(truth)
+		lo, hi := bucketBounds(idx)
+		width := float64(hi-lo) + 1
+		if est < float64(lo)-width || est > float64(hi)+width {
+			t.Fatalf("q=%g: estimate %g outside bucket [%d,%d] +/- width %g (truth %d)",
+				q, est, lo, hi, width, truth)
+		}
+	}
+	if max := snap.Max(); max < sorted[len(sorted)-1] {
+		t.Fatalf("Max() = %d below true max %d", max, sorted[len(sorted)-1])
+	}
+	if snap.Mean() <= 0 {
+		t.Fatalf("Mean() = %g, want positive", snap.Mean())
+	}
+}
+
+// TestHistogramRace hammers one histogram from GOMAXPROCS writers while a
+// reader snapshots continuously. Run under -race this proves Observe and
+// Snapshot are data-race-free; the final snapshot must account for every
+// observation.
+func TestHistogramRace(t *testing.T) {
+	if !Enabled {
+		t.Skip("histograms compiled out under -tags noobs")
+	}
+	h := NewHistogram()
+	writers := runtime.GOMAXPROCS(0)
+	const perWriter = 20000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var n uint64
+				for _, b := range s.Buckets {
+					n += b.Count
+				}
+				if n != s.Count {
+					t.Errorf("snapshot bucket sum %d != count %d", n, s.Count)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Uint64() >> uint(rng.Intn(60)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	final := h.Snapshot()
+	if want := uint64(writers * perWriter); final.Count != want {
+		t.Fatalf("final count %d, want %d", final.Count, want)
+	}
+}

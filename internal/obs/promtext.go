@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges become single samples;
+// histograms become the conventional cumulative-bucket triple
+// (`_bucket{le="..."}`, `_sum`, `_count`). Label suffixes embedded in
+// metric names (built with L) are split out and merged with the `le`
+// label. Series are emitted in sorted name order so output is
+// deterministic.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		if v, ok := s.Counters[name]; ok {
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(v, 10))
+			b.WriteByte('\n')
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(v))
+			b.WriteByte('\n')
+			continue
+		}
+		writePromHistogram(&b, name, s.Histograms[name])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits one histogram as cumulative le-buckets. Only
+// boundaries of non-empty buckets are emitted (plus +Inf), which keeps a
+// 252-bucket layout from producing 252 lines per series.
+func writePromHistogram(b *strings.Builder, name string, h HistSnapshot) {
+	base, labels := splitName(name)
+	var cum uint64
+	for _, bk := range h.Buckets {
+		cum += bk.Count
+		b.WriteString(base)
+		b.WriteString("_bucket{")
+		if labels != "" {
+			b.WriteString(labels)
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(strconv.FormatUint(bk.Hi, 10))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(base)
+	b.WriteString("_bucket{")
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"} `)
+	b.WriteString(strconv.FormatUint(h.Count, 10))
+	b.WriteByte('\n')
+	suffix := func(sfx, val string) {
+		b.WriteString(base)
+		b.WriteString(sfx)
+		if labels != "" {
+			b.WriteByte('{')
+			b.WriteString(labels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(val)
+		b.WriteByte('\n')
+	}
+	suffix("_sum", formatFloat(h.Sum))
+	suffix("_count", strconv.FormatUint(h.Count, 10))
+}
+
+// splitName splits a full series name into its base name and the raw label
+// body (without braces): `x{a="1"}` -> (`x`, `a="1"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteJSON renders the snapshot as indented JSON: the three metric maps
+// keyed by full series name, histograms with their non-empty buckets.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string            // base metric name
+	labels map[string]string // may be empty
+	value  float64
+}
+
+// parsePromText is a tiny Prometheus text-format (0.0.4) parser: enough to
+// assert that our exporter emits well-formed lines. It rejects anything it
+// does not understand rather than skipping it.
+func parsePromText(text string) ([]promSample, error) {
+	var out []promSample
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value separator: %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		s := promSample{value: val, labels: map[string]string{}}
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			s.name = series[:i]
+			body := series[i+1 : len(series)-1]
+			for body != "" {
+				eq := strings.IndexByte(body, '=')
+				if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+					return nil, fmt.Errorf("line %d: bad label pair in %q", ln+1, line)
+				}
+				key := body[:eq]
+				rest := body[eq+2:]
+				// Scan to the closing quote, honoring escapes.
+				var val strings.Builder
+				j := 0
+				for ; j < len(rest); j++ {
+					if rest[j] == '\\' && j+1 < len(rest) {
+						j++
+						switch rest[j] {
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							val.WriteByte(rest[j])
+						}
+						continue
+					}
+					if rest[j] == '"' {
+						break
+					}
+					val.WriteByte(rest[j])
+				}
+				if j == len(rest) {
+					return nil, fmt.Errorf("line %d: unterminated label value in %q", ln+1, line)
+				}
+				s.labels[key] = val.String()
+				body = rest[j+1:]
+				body = strings.TrimPrefix(body, ",")
+			}
+		} else {
+			s.name = series
+		}
+		if s.name == "" {
+			return nil, fmt.Errorf("line %d: empty metric name: %q", ln+1, line)
+		}
+		for _, c := range s.name {
+			if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+				return nil, fmt.Errorf("line %d: bad name char %q in %q", ln+1, c, s.name)
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func find(samples []promSample, name string, labels map[string]string) (promSample, bool) {
+	for _, s := range samples {
+		if s.name != name || len(s.labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return promSample{}, false
+}
+
+func testSnapshot() *Snapshot {
+	r := NewRegistry()
+	r.Counter("lix_test_ops_total").Add(42)
+	r.Counter(L("lix_test_shard_ops_total", "shard", "3")).Add(7)
+	r.Gauge("lix_test_depth").Set(5)
+	s := r.Snapshot()
+	// Inject the histogram as a snapshot so the test is identical in
+	// both builds (real histograms are compiled out under noobs).
+	s.AddHistogram(L("lix_test_latency_ns", "op", "get"), HistSnapshot{
+		Count: 6,
+		Sum:   300,
+		Buckets: []HistBucket{
+			{Lo: 4, Hi: 4, Count: 2},
+			{Lo: 96, Hi: 127, Count: 4},
+		},
+	})
+	return s
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := testSnapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parsePromText(b.String())
+	if err != nil {
+		t.Fatalf("exporter output failed to parse: %v\noutput:\n%s", err, b.String())
+	}
+	if s, ok := find(samples, "lix_test_ops_total", nil); !ok || s.value != 42 {
+		t.Fatalf("lix_test_ops_total missing or wrong: %+v", samples)
+	}
+	if s, ok := find(samples, "lix_test_shard_ops_total", map[string]string{"shard": "3"}); !ok || s.value != 7 {
+		t.Fatalf("labeled counter missing: %+v", samples)
+	}
+	if s, ok := find(samples, "lix_test_depth", nil); !ok || s.value != 5 {
+		t.Fatalf("gauge missing")
+	}
+	// Histogram: cumulative le buckets, monotone, +Inf == count.
+	var les []promSample
+	for _, s := range samples {
+		if s.name == "lix_test_latency_ns_bucket" {
+			if s.labels["op"] != "get" {
+				t.Fatalf("bucket lost its base label: %+v", s)
+			}
+			les = append(les, s)
+		}
+	}
+	if len(les) != 3 { // two non-empty buckets + Inf
+		t.Fatalf("want 3 le buckets, got %d", len(les))
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i].value < les[j].value })
+	for i := 1; i < len(les); i++ {
+		if les[i].value < les[i-1].value {
+			t.Fatalf("cumulative buckets not monotone: %+v", les)
+		}
+	}
+	inf, ok := find(samples, "lix_test_latency_ns_bucket", map[string]string{"op": "get", "le": "+Inf"})
+	if !ok || inf.value != 6 {
+		t.Fatalf("+Inf bucket missing or wrong: %+v", les)
+	}
+	if s, ok := find(samples, "lix_test_latency_ns_count", map[string]string{"op": "get"}); !ok || s.value != 6 {
+		t.Fatalf("_count missing")
+	}
+	if s, ok := find(samples, "lix_test_latency_ns_sum", map[string]string{"op": "get"}); !ok || s.value != 300 {
+		t.Fatalf("_sum missing")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := testSnapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if round.Counter("lix_test_ops_total") != 42 {
+		t.Fatalf("counter lost in JSON round-trip")
+	}
+	h := round.Histogram(`lix_test_latency_ns{op="get"}`)
+	if h.Count != 6 || len(h.Buckets) != 2 {
+		t.Fatalf("histogram lost in JSON round-trip: %+v", h)
+	}
+}
+
+// TestDebugServer starts the debug listener on an ephemeral port, scrapes
+// /metrics and /metrics.json over real HTTP, and asserts the Prometheus
+// payload parses.
+func TestDebugServer(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", testSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	samples, err := parsePromText(string(body))
+	if err != nil {
+		t.Fatalf("/metrics not well-formed: %v", err)
+	}
+	if _, ok := find(samples, "lix_test_ops_total", nil); !ok {
+		t.Fatalf("scraped payload missing counter")
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap Snapshot
+	if err := json.Unmarshal(jbody, &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counter("lix_test_ops_total") != 42 {
+		t.Fatalf("/metrics.json lost counter")
+	}
+}

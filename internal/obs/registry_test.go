@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRegistryHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	if c2 := r.Counter("x_total"); c2 != c {
+		t.Fatalf("same name returned different counter handles")
+	}
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := r.Gauge("x_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if h2 := r.Histogram("x_ns"); h2 != r.Histogram("x_ns") {
+		t.Fatalf("same name returned different histogram handles")
+	}
+}
+
+func TestRegistrySnapshotAndCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(9)
+	r.Histogram("c_ns").Observe(100)
+	r.RegisterCollector(func(s *Snapshot) {
+		s.AddCounter(L("d_total", "shard", "0"), 11)
+		s.SetGauge("e", 2.5)
+		s.AddHistogram("c_ns", HistSnapshot{
+			Count:   1,
+			Sum:     5,
+			Buckets: []HistBucket{{Lo: 5, Hi: 5, Count: 1}},
+		})
+	})
+	s := r.Snapshot()
+	if s.Counter("a_total") != 3 {
+		t.Fatalf("a_total = %d", s.Counter("a_total"))
+	}
+	if s.Gauge("b") != 9 {
+		t.Fatalf("b = %g", s.Gauge("b"))
+	}
+	if s.Counter(`d_total{shard="0"}`) != 11 {
+		t.Fatalf("collector counter missing: %v", s.Counters)
+	}
+	if s.Gauge("e") != 2.5 {
+		t.Fatalf("collector gauge missing")
+	}
+	h := s.Histogram("c_ns")
+	if Enabled {
+		if h.Count != 2 {
+			t.Fatalf("merged histogram count = %d, want 2", h.Count)
+		}
+	} else if h.Count != 1 {
+		// Registry histograms are no-ops under noobs; only the
+		// collector-injected snapshot survives.
+		t.Fatalf("noobs histogram count = %d, want 1", h.Count)
+	}
+	if got := s.Series("d_total"); len(got) != 1 || got[0] != `d_total{shard="0"}` {
+		t.Fatalf("Series(d_total) = %v", got)
+	}
+}
+
+func TestLabelHelper(t *testing.T) {
+	if got := L("x_total", "shard", "3"); got != `x_total{shard="3"}` {
+		t.Fatalf("L = %q", got)
+	}
+	if got := L(L("x", "a", "1"), "b", "2"); got != `x{a="1",b="2"}` {
+		t.Fatalf("chained L = %q", got)
+	}
+	if got := L("x", "p", `sp"am\`); got != `x{p="sp\"am\\"}` {
+		t.Fatalf("escaped L = %q", got)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(64)
+	// Each sharded cell admits every 64th of its own ticks; a
+	// single-goroutine caller hits one cell, so over N ticks the admit
+	// count is N/64 +/- 1.
+	admitted := 0
+	const n = 64 * 100
+	for i := 0; i < n; i++ {
+		if s.Tick() {
+			admitted++
+		}
+	}
+	if admitted < n/64-1 || admitted > n/64+1 {
+		t.Fatalf("admitted %d of %d, want ~%d", admitted, n, n/64)
+	}
+	// Interval 1 (and the zero value) admits everything.
+	every := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !every.Tick() {
+			t.Fatalf("interval-1 sampler skipped a tick")
+		}
+	}
+}
+
+func TestSampleKeyRate(t *testing.T) {
+	admitted := 0
+	const n = 1 << 16
+	for k := uint64(0); k < n; k++ {
+		if SampleKey(k) {
+			admitted++
+		}
+	}
+	// Dense keys through the golden-ratio hash: close to 1/64.
+	want := n / 64
+	if admitted < want/2 || admitted > want*2 {
+		t.Fatalf("SampleKey admitted %d of %d, want ~%d", admitted, n, want)
+	}
+	if SampleKey(7) != SampleKey(7) {
+		t.Fatalf("SampleKey not deterministic")
+	}
+}
+
+// TestRegistryRace snapshots concurrently with metric writes and handle
+// creation under -race.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func(s *Snapshot) { s.SetGauge("dyn", 1) })
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("races_total")
+			h := r.Histogram("race_ns")
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+				if i%97 == 0 {
+					r.Gauge("g").Set(int64(i))
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if want := int64(runtime.GOMAXPROCS(0) * 5000); s.Counter("races_total") != want {
+		t.Fatalf("races_total = %d, want %d", s.Counter("races_total"), want)
+	}
+}

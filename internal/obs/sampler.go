@@ -1,0 +1,41 @@
+package obs
+
+// sampleMul is Fibonacci hashing's 64-bit golden-ratio multiplier: one
+// multiply scrambles a key well enough that any fixed slice of the product
+// bits selects an unbiased deterministic subset of a diverse key stream.
+const sampleMul = 0x9E3779B97F4A7C15
+
+// SampleKey is the zero-shared-state 1-in-64 sampler for per-key hot
+// paths: one multiply, one shift, one compare — no loads of shared memory,
+// no atomics, nothing for the race detector to see. Deterministic: a given
+// key is always (or never) sampled, which keeps repeated probes of a hot
+// key from being invisible but means the sample is a fixed 1/64 slice of
+// the key space rather than of the call stream.
+func SampleKey(key uint64) bool {
+	return key*sampleMul>>58 == 0
+}
+
+// Sampler is the shared-state deterministic 1-in-N sampler for paths with
+// no key to hash (inserts, batches): Tick costs one uncontended atomic add
+// on a sharded cell and admits exactly every interval-th tick of that
+// cell, so the overall admission rate is 1/interval. The zero value ticks
+// every call; create with NewSampler.
+type Sampler struct {
+	mask  uint64
+	cells [counterShards]padCell
+}
+
+// NewSampler returns a sampler admitting ~1 in interval ticks; interval is
+// rounded up to a power of two (minimum 1).
+func NewSampler(interval int) *Sampler {
+	n := uint64(1)
+	for int(n) < interval {
+		n <<= 1
+	}
+	return &Sampler{mask: n - 1}
+}
+
+// Tick counts one event and reports whether it is sampled.
+func (s *Sampler) Tick() bool {
+	return uint64(s.cells[shardIndex()].v.Add(1))&s.mask == 0
+}

@@ -44,6 +44,8 @@ package scan
 import (
 	"cmp"
 	"sync"
+
+	"learnedindex/internal/obs"
 )
 
 // Positioner is a learned entry point into a sorted key array: Lookup
@@ -176,6 +178,12 @@ type Iterator[K cmp.Ordered] struct {
 	closer  Closer
 	closed  bool
 	pool    *sync.Pool // home pool, nil for exotic instantiations
+	// emitted counts keys produced over the iterator's lifetime (a plain
+	// field increment — scans are single-goroutine). obsKeys, when set via
+	// SetObs, receives the final count at Close, giving the owning layer a
+	// keys-per-scan distribution at zero per-key atomic cost.
+	emittedN uint64
+	obsKeys  *obs.Histogram
 }
 
 // Per-instantiation iterator pools. sync.Pool is untyped, so the common
@@ -208,8 +216,14 @@ func Get[K cmp.Ordered]() *Iterator[K] {
 	it.closer = nil
 	it.closed = false
 	it.valid, it.emitted = false, false
+	it.emittedN, it.obsKeys = 0, nil
 	return it
 }
+
+// SetObs points the iterator at a histogram that will receive the number
+// of keys this scan emitted when it Closes. Call between Get and Close;
+// nil (the Get default) disables the report.
+func (it *Iterator[K]) SetObs(keys *obs.Histogram) { it.obsKeys = keys }
 
 // Add appends a merge source. Cursors must be added newest-first: on equal
 // keys the lowest-indexed cursor wins the tournament, which is what gives
@@ -350,6 +364,7 @@ func (it *Iterator[K]) Next() bool {
 		}
 		it.cur = k
 		it.emitted, it.valid = true, true
+		it.emittedN++
 		return true
 	}
 	it.valid = false
@@ -393,6 +408,10 @@ func (it *Iterator[K]) Close() {
 		return
 	}
 	it.closed = true
+	if it.obsKeys != nil {
+		it.obsKeys.Observe(it.emittedN)
+		it.obsKeys = nil
+	}
 	for i, c := range it.cursors {
 		c.Release()
 		it.cursors[i] = nil

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"learnedindex/internal/core"
+	"learnedindex/internal/obs"
+)
+
+// TestStoreMetrics drives the serving layer's surfaces through an
+// in-memory store and asserts the metrics plane recorded them: traffic
+// counters exactly, sampled series within their sampling contract, and
+// the per-shard drain/retrain and queue series present.
+func TestStoreMetrics(t *testing.T) {
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+	}
+	st := New(keys, core.Config{}, Options{Shards: 4, MergeThreshold: 1 << 20})
+	defer st.Close()
+	if st.Registry() == nil {
+		t.Fatal("Registry() is nil")
+	}
+
+	const inserts = 1000
+	for i := 0; i < inserts; i++ {
+		st.Insert(uint64(i)*3 + 1)
+	}
+	st.Flush()
+
+	for i := 0; i < 2048; i++ {
+		st.Lookup(uint64(i))
+	}
+	const batches = 32
+	probe := make([]uint64, 16)
+	for b := 0; b < batches; b++ {
+		for j := range probe {
+			probe[j] = uint64(b*16 + j)
+		}
+		st.LookupBatch(probe)
+	}
+	const scans = 8
+	for i := 0; i < scans; i++ {
+		it := st.Scan(0, 500)
+		for it.Next() {
+		}
+		it.Close()
+	}
+
+	s := st.Metrics()
+	if got := s.Counter("lix_serve_inserts_total"); got != inserts {
+		t.Fatalf("inserts counter = %d, want %d", got, inserts)
+	}
+	if got := s.Counter("lix_serve_snapshot_swaps_total"); got != int64(st.Merges()) || got == 0 {
+		t.Fatalf("swaps counter = %d, Merges() = %d", got, st.Merges())
+	}
+	if got := s.Counter("lix_serve_lookup_batches_total"); got != batches {
+		t.Fatalf("batches counter = %d, want %d", got, batches)
+	}
+	if got := s.Counter("lix_serve_scans_total"); got != scans {
+		t.Fatalf("scans counter = %d, want %d", got, scans)
+	}
+	// Single-key lookups are 1-in-64 sampled over the key space: 2048
+	// dense keys must sample some, and the estimate is the sampled hits
+	// times 64.
+	if got := s.Counter("lix_serve_lookups_total"); got == 0 || got%64 != 0 {
+		t.Fatalf("sampled lookups counter = %d, want a nonzero multiple of 64", got)
+	}
+	if got := s.Gauge("lix_serve_shards"); got != 4 {
+		t.Fatalf("shards gauge = %g", got)
+	}
+	if qs := s.Series("lix_serve_queue_depth"); len(qs) != 4 {
+		t.Fatalf("queue depth series = %v, want one per shard", qs)
+	}
+	// Model health: every shard publishes its trained error bound (the
+	// collector reads it off the live plan in both builds).
+	if bs := s.Series("lix_serve_trained_err_bound"); len(bs) != 5 { // 4 shards + aggregate
+		t.Fatalf("trained-err-bound series = %v, want per-shard + aggregate", bs)
+	}
+
+	if !obs.Enabled {
+		return
+	}
+	// Sampled model-health histograms: the same 1-in-64 key sampling that
+	// fed lix_serve_lookups_total observed the plan's error and window.
+	if h := s.Histogram("lix_serve_model_err"); h.Count == 0 {
+		t.Fatalf("aggregate model-error histogram empty after sampled lookups")
+	}
+	if h := s.Histogram("lix_serve_search_window"); h.Count == 0 {
+		t.Fatalf("aggregate search-window histogram empty after sampled lookups")
+	}
+	if h := s.Histogram("lix_serve_lookup_batch_probes"); h.Count != batches {
+		t.Fatalf("batch-size histogram count = %d, want %d", h.Count, batches)
+	}
+	if h := s.Histogram("lix_serve_scan_keys"); h.Count != scans {
+		t.Fatalf("scan-keys histogram count = %d, want %d", h.Count, scans)
+	}
+	if h := s.Histogram("lix_serve_scan_open_ns"); h.Count != scans {
+		t.Fatalf("scan-open histogram count = %d, want %d", h.Count, scans)
+	}
+	if h := s.Histogram("lix_serve_lookup_ns"); h.Count == 0 {
+		t.Fatalf("sampled lookup latency histogram empty after 2048 dense probes")
+	}
+	// The Flush drained at least one shard: its drain and retrain series
+	// must hold an observation.
+	var drains, trains uint64
+	for _, n := range s.Series("lix_serve_drain_ns") {
+		drains += s.Histogram(n).Count
+	}
+	for _, n := range s.Series("lix_serve_retrain_ns") {
+		trains += s.Histogram(n).Count
+	}
+	if drains == 0 || trains != drains {
+		t.Fatalf("drain/retrain histograms: %d drains, %d retrains", drains, trains)
+	}
+}
+
+// TestStoreMetricsAddr boots the Options.MetricsAddr debug listener on an
+// ephemeral port and fetches both exposition formats over real HTTP.
+func TestStoreMetricsAddr(t *testing.T) {
+	keys := []uint64{1, 2, 3, 5, 8, 13}
+	st, err := Open(keys, core.Config{}, Options{Shards: 2, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr := st.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr is empty with MetricsAddr set")
+	}
+	st.Insert(21)
+	st.Flush()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "lix_serve_inserts_total 1") {
+		t.Fatalf("/metrics missing the insert counter:\n%s", body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics.json", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET /metrics.json: %v", err)
+	}
+	if snap.Counter("lix_serve_inserts_total") != 1 {
+		t.Fatalf("/metrics.json insert counter = %d", snap.Counter("lix_serve_inserts_total"))
+	}
+}
+
+// TestStoreMetricsRace hammers every instrumented surface from
+// GOMAXPROCS-ish writers while a reader snapshots the metrics plane —
+// under -race this is the proof that Metrics() is safe concurrently with
+// all traffic.
+func TestStoreMetricsRace(t *testing.T) {
+	keys := make([]uint64, 2048)
+	for i := range keys {
+		keys[i] = uint64(i) * 5
+	}
+	st := New(keys, core.Config{}, Options{Shards: 4, MergeThreshold: 256})
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			probe := make([]uint64, 8)
+			for i := 0; i < 400; i++ {
+				k := uint64(w*100000 + i)
+				st.Insert(k)
+				st.Lookup(k)
+				for j := range probe {
+					probe[j] = k + uint64(j)
+				}
+				st.LookupBatch(probe)
+				if i%64 == 0 {
+					it := st.Scan(k, k+1000)
+					for it.Next() {
+					}
+					it.Close()
+					st.Flush()
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := st.Metrics()
+			if s.Counter("lix_serve_inserts_total") < 0 {
+				t.Error("negative insert counter")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := st.Metrics().Counter("lix_serve_inserts_total"); got != 4*400 {
+		t.Fatalf("final inserts counter = %d, want %d", got, 4*400)
+	}
+}

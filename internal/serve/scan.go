@@ -35,7 +35,9 @@ package serve
 import (
 	"slices"
 	"sync"
+	"time"
 
+	"learnedindex/internal/obs"
 	"learnedindex/internal/scan"
 	"learnedindex/internal/storage"
 )
@@ -116,7 +118,17 @@ func (s *Store) Scan(lo, hi uint64) *scan.Iterator[uint64] {
 	if s.strKeys {
 		panic("serve: uint64 scan on a string-keyed store")
 	}
+	// Scan opens are cold next to the per-key stream, so the open (capture
+	// + seed seeks) is timed unconditionally when metrics are built in; the
+	// per-key path stays untouched — the iterator reports its emitted-key
+	// count once, at Close, into lix_serve_scan_keys.
+	s.m.scans.Inc()
+	var start time.Time
+	if obs.Enabled {
+		start = time.Now()
+	}
 	it := scan.Get[uint64]()
+	it.SetObs(s.m.scanKeys)
 	st := scanStatePool.Get().(*scanState)
 	if s.eng != nil {
 		sn := s.eng.AcquireSnapshotRange(lo, hi)
@@ -132,6 +144,9 @@ func (s *Store) Scan(lo, hi uint64) *scan.Iterator[uint64] {
 			}
 		}
 		it.Start(lo, hi, st)
+		if obs.Enabled {
+			s.m.scanOpen.ObserveDuration(time.Since(start))
+		}
 		return it
 	}
 	st.captureInMemory(s, lo, hi)
@@ -156,6 +171,9 @@ func (s *Store) Scan(lo, hi uint64) *scan.Iterator[uint64] {
 		it.Add(&st.kcs[i])
 	}
 	it.Start(lo, hi, st)
+	if obs.Enabled {
+		s.m.scanOpen.ObserveDuration(time.Since(start))
+	}
 	return it
 }
 

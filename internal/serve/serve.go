@@ -71,10 +71,13 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"learnedindex/internal/core"
+	"learnedindex/internal/obs"
 	"learnedindex/internal/search"
 	"learnedindex/internal/slicepool"
 	"learnedindex/internal/storage"
@@ -101,6 +104,13 @@ type Options struct {
 	// a background merge in a persistent Store (default 4). Ignored when
 	// Dir is empty.
 	CompactFanout int
+	// MetricsAddr, when non-empty, starts a debug HTTP listener on that
+	// address serving the Store's metrics plane: /metrics (Prometheus
+	// text), /metrics.json, and /debug/pprof. The endpoints carry no
+	// authentication — bind loopback (e.g. "127.0.0.1:0") unless the
+	// network perimeter already restricts access. The bound address is
+	// reported by DebugAddr; the listener closes with the Store.
+	MetricsAddr string
 }
 
 // snapshot is one shard's immutable published state. Nothing in it is ever
@@ -170,7 +180,12 @@ type Store struct {
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	closed  atomic.Bool
-	merges  atomic.Int64
+	// reg is the store's metrics plane (shared with the storage engine in
+	// persistent mode); m holds the pre-resolved handles the hot paths
+	// touch, and dbg the optional MetricsAddr debug listener.
+	reg *obs.Registry
+	m   storeMetrics
+	dbg *obs.DebugServer
 	// retrainSem bounds concurrent shard retrains: independent shards
 	// drain in parallel (each retrain itself fans out over the parallel
 	// trainer's worker pool), but the semaphore keeps a wide Flush from
@@ -182,6 +197,132 @@ type Store struct {
 	// eng, when non-nil, is the disk engine of a persistent Store; the
 	// in-memory shard fields above are unused in that mode.
 	eng *storage.Engine
+}
+
+// storeMetrics is the serving layer's handle bundle into the shared
+// registry. Counters stay real in every build (they cost one uncontended
+// sharded atomic add); histogram observations and the latency-sampling
+// branches compile away under -tags noobs. The hot read paths never pay
+// more than the sampling decision itself: single-key lookups hash the key
+// (obs.SampleKey — multiply, shift, compare, no shared state) and batches
+// tick a sharded countdown (m.sampler), so an unsampled call's metrics
+// cost is ~1-2 atomic adds against microseconds of work.
+type storeMetrics struct {
+	swaps    *obs.Counter     // lix_serve_snapshot_swaps_total: RCU publications
+	lookups  *obs.Counter     // lix_serve_lookups_total: sampled estimate (+64 per sampled key)
+	inserts  *obs.Counter     // lix_serve_inserts_total
+	batches  *obs.Counter     // lix_serve_lookup_batches_total
+	scans    *obs.Counter     // lix_serve_scans_total
+	lookupNs *obs.Histogram   // lix_serve_lookup_ns: sampled single-key latency
+	insertNs *obs.Histogram   // lix_serve_durable_insert_ns: group-commit latency
+	batchNs  *obs.Histogram   // lix_serve_lookup_batch_ns: sampled batch latency
+	batchLen *obs.Histogram   // lix_serve_lookup_batch_probes: probes per batch
+	scanOpen *obs.Histogram   // lix_serve_scan_open_ns: capture+seek latency
+	scanKeys *obs.Histogram   // lix_serve_scan_keys: keys streamed per closed scan
+	drainNs  []*obs.Histogram // lix_serve_drain_ns{shard=i}: buffer-take → publish
+	trainNs  []*obs.Histogram // lix_serve_retrain_ns{shard=i}: model training alone
+	sampler  *obs.Sampler     // 1-in-64 admission for paths with no key to hash
+}
+
+func newStoreMetrics(reg *obs.Registry, nsh int) storeMetrics {
+	m := storeMetrics{
+		swaps:    reg.Counter("lix_serve_snapshot_swaps_total"),
+		lookups:  reg.Counter("lix_serve_lookups_total"),
+		inserts:  reg.Counter("lix_serve_inserts_total"),
+		batches:  reg.Counter("lix_serve_lookup_batches_total"),
+		scans:    reg.Counter("lix_serve_scans_total"),
+		lookupNs: reg.Histogram("lix_serve_lookup_ns"),
+		insertNs: reg.Histogram("lix_serve_durable_insert_ns"),
+		batchNs:  reg.Histogram("lix_serve_lookup_batch_ns"),
+		batchLen: reg.Histogram("lix_serve_lookup_batch_probes"),
+		scanOpen: reg.Histogram("lix_serve_scan_open_ns"),
+		scanKeys: reg.Histogram("lix_serve_scan_keys"),
+		sampler:  obs.NewSampler(64),
+	}
+	for i := 0; i < nsh; i++ {
+		sh := strconv.Itoa(i)
+		m.drainNs = append(m.drainNs, reg.Histogram(obs.L("lix_serve_drain_ns", "shard", sh)))
+		m.trainNs = append(m.trainNs, reg.Histogram(obs.L("lix_serve_retrain_ns", "shard", sh)))
+	}
+	return m
+}
+
+// initObs wires the store into its metrics registry (nsh in-memory shards;
+// 0 for a persistent store, whose drains are the engine's flushes and are
+// instrumented there) and starts the optional debug listener. Must run
+// before the background merger so no drain races the handle installation.
+func (s *Store) initObs(reg *obs.Registry, nsh int, addr string) error {
+	s.reg = reg
+	s.m = newStoreMetrics(reg, nsh)
+	reg.RegisterCollector(s.collect)
+	if addr != "" {
+		dbg, err := obs.StartDebugServer(addr, reg.Snapshot)
+		if err != nil {
+			return err
+		}
+		s.dbg = dbg
+	}
+	return nil
+}
+
+// collect injects the serving layer's point-in-time series into a metrics
+// snapshot: shard/queue topology, retrain pressure, and per-shard model
+// health (sampled observed error and last-mile window vs the trained
+// bound, from each shard's live compiled plan). Per-shard queue depths
+// take each shard's buffer mutex briefly — snapshots are rare and the
+// buffer critical sections are appends, so a reader never stalls the
+// write path noticeably. Engine-backed stores skip the per-shard series:
+// the engine's own collector publishes the lix_storage_*/lix_segment_*
+// equivalents.
+func (s *Store) collect(snap *obs.Snapshot) {
+	snap.SetGauge("lix_serve_retrains_inflight", float64(len(s.retrainSem)))
+	snap.SetGauge("lix_serve_shards", float64(s.NumShards()))
+	if s.eng != nil {
+		return // queue depth is the engine's lix_storage_pending_keys
+	}
+	pending := 0
+	var allErr, allLen obs.HistSnapshot
+	maxBound := 0
+	health := func(i int, p *core.Plan) {
+		if p == nil {
+			return
+		}
+		errH, lenH := p.ObsModelErr(), p.ObsSearchLen()
+		sh := strconv.Itoa(i)
+		snap.AddHistogram(obs.L("lix_serve_model_err", "shard", sh), errH)
+		snap.AddHistogram(obs.L("lix_serve_search_window", "shard", sh), lenH)
+		snap.SetGauge(obs.L("lix_serve_trained_err_bound", "shard", sh), float64(p.TrainedErrBound()))
+		allErr.Merge(errH)
+		allLen.Merge(lenH)
+		if b := p.TrainedErrBound(); b > maxBound {
+			maxBound = b
+		}
+	}
+	if s.strKeys {
+		for i, sh := range s.shardsS {
+			sh.mu.Lock()
+			d := len(sh.buf) + len(sh.draining)
+			sh.mu.Unlock()
+			snap.SetGauge(obs.L("lix_serve_queue_depth", "shard", strconv.Itoa(i)), float64(d))
+			pending += d
+			if sn := sh.snap.Load(); sn.idx != nil {
+				health(i, sn.idx.Plan())
+			}
+		}
+	} else {
+		for i, sh := range s.shards {
+			sh.mu.Lock()
+			d := len(sh.buf) + len(sh.draining)
+			sh.mu.Unlock()
+			snap.SetGauge(obs.L("lix_serve_queue_depth", "shard", strconv.Itoa(i)), float64(d))
+			pending += d
+			health(i, sh.snap.Load().plan)
+		}
+	}
+	snap.SetGauge("lix_serve_queued_keys", float64(pending))
+	snap.AddHistogram("lix_serve_model_err", allErr)
+	snap.AddHistogram("lix_serve_search_window", allLen)
+	snap.SetGauge("lix_serve_trained_err_bound", float64(maxBound))
 }
 
 // New builds a Store over the initial keys (any order; duplicates are
@@ -207,7 +348,7 @@ func Open(keys []uint64, cfg core.Config, opt Options) (*Store, error) {
 	if opt.Dir != "" {
 		return openPersistent(keys, cfg, opt)
 	}
-	return newInMemory(keys, cfg, opt), nil
+	return newInMemory(keys, cfg, opt)
 }
 
 func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error) {
@@ -215,10 +356,12 @@ func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error)
 	if thresh <= 0 {
 		thresh = 4096
 	}
+	reg := obs.NewRegistry()
 	eng, err := storage.Open(opt.Dir, storage.Options{
 		Config:        cfg,
 		BloomFPR:      opt.BloomFPR,
 		CompactFanout: opt.CompactFanout,
+		Reg:           reg,
 	})
 	if err != nil {
 		return nil, err
@@ -231,12 +374,18 @@ func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error)
 		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
 		eng:        eng,
 	}
+	if err := s.initObs(reg, 0, opt.MetricsAddr); err != nil {
+		eng.Close()
+		return nil, err
+	}
 	if len(keys) > 0 {
 		if err := eng.Append(keys...); err != nil {
+			s.closeDebug()
 			eng.Close()
 			return nil, err
 		}
 		if err := eng.Flush(); err != nil {
+			s.closeDebug()
 			eng.Close()
 			return nil, err
 		}
@@ -246,7 +395,15 @@ func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error)
 	return s, nil
 }
 
-func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
+// closeDebug shuts the MetricsAddr listener down, if one was started.
+func (s *Store) closeDebug() {
+	if s.dbg != nil {
+		s.dbg.Close()
+		s.dbg = nil
+	}
+}
+
+func newInMemory(keys []uint64, cfg core.Config, opt Options) (*Store, error) {
 	nsh := opt.Shards
 	if nsh <= 0 {
 		nsh = 8
@@ -300,9 +457,12 @@ func newInMemory(keys []uint64, cfg core.Config, opt Options) *Store {
 		s.shards[i] = sh
 		lo = hi
 	}
+	if err := s.initObs(obs.NewRegistry(), nsh, opt.MetricsAddr); err != nil {
+		return nil, err
+	}
 	s.wg.Add(1)
 	go s.merger()
-	return s
+	return s, nil
 }
 
 // shardFor routes a key to its range partition: the shard whose
@@ -320,6 +480,7 @@ func (s *Store) Insert(key uint64) {
 	if s.strKeys {
 		panic("serve: uint64 insert on a string-keyed store")
 	}
+	s.m.inserts.Inc()
 	if s.eng != nil {
 		if s.eng.Append(key) != nil {
 			return // sticky; reported by Sync/Close
@@ -366,8 +527,16 @@ func (s *Store) InsertDurable(keys ...uint64) error {
 		}
 		return nil
 	}
+	s.m.inserts.Add(int64(len(keys)))
+	var start time.Time
+	if obs.Enabled {
+		start = time.Now()
+	}
 	if err := s.eng.CommitBatch(keys); err != nil {
 		return err
+	}
+	if obs.Enabled {
+		s.m.insertNs.ObserveDuration(time.Since(start))
 	}
 	if s.eng.PendingLen() >= s.thresh {
 		select {
@@ -541,6 +710,10 @@ func (s *Store) drain(i int) {
 	}
 	s.retrainSem <- struct{}{}
 	defer func() { <-s.retrainSem }()
+	var drainStart time.Time
+	if obs.Enabled {
+		drainStart = time.Now()
+	}
 	// Sort a copy: buf is concurrently readable as sh.draining.
 	work := append(getShardBuf(), buf...)
 	slices.Sort(work)
@@ -553,9 +726,20 @@ func (s *Store) drain(i int) {
 		release(work)
 		return
 	}
-	sh.snap.Store(newSnapshot(merged, s.cfg, s.retrainWorkers()))
-	s.merges.Add(1)
+	var trainStart time.Time
+	if obs.Enabled {
+		trainStart = time.Now()
+	}
+	snap := newSnapshot(merged, s.cfg, s.retrainWorkers())
+	if obs.Enabled {
+		s.m.trainNs[i].ObserveDuration(time.Since(trainStart))
+	}
+	sh.snap.Store(snap)
+	s.m.swaps.Inc()
 	release(work)
+	if obs.Enabled {
+		s.m.drainNs[i].ObserveDuration(time.Since(drainStart))
+	}
 }
 
 // Flush synchronously drains every shard — concurrently, bounded by the
@@ -612,6 +796,7 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.closeDebug()
 	close(s.quit)
 	s.wg.Wait()
 	if s.eng != nil {
@@ -633,10 +818,28 @@ type view struct {
 // captures only the snapshots it reads (one atomic load per shard). On a
 // persistent Store the position is the exact sum of per-segment model
 // lookups (segments hold disjoint key sets).
+//
+// Metrics on this path are fully sampled: an unsampled call pays one
+// multiply (obs.SampleKey), a 1-in-64 sampled call additionally times
+// itself into lix_serve_lookup_ns and bumps lix_serve_lookups_total by 64
+// — the counter is a sampled estimate, not an exact call count.
 func (s *Store) Lookup(key uint64) int {
 	if s.strKeys {
 		panic("serve: uint64 read on a string-keyed store")
 	}
+	if obs.SampleKey(key) {
+		s.m.lookups.Add(64)
+		if obs.Enabled {
+			start := time.Now()
+			pos := s.lookupPos(key)
+			s.m.lookupNs.ObserveDuration(time.Since(start))
+			return pos
+		}
+	}
+	return s.lookupPos(key)
+}
+
+func (s *Store) lookupPos(key uint64) int {
 	if s.eng != nil {
 		return s.eng.Lookup(key)
 	}
@@ -708,7 +911,7 @@ func (s *Store) Merges() int {
 	if s.eng != nil {
 		return s.eng.Stats().Flushes
 	}
-	return int(s.merges.Load())
+	return int(s.m.swaps.Load())
 }
 
 // NumShards returns the partition count (1 on a persistent Store, whose
@@ -724,12 +927,39 @@ func (s *Store) NumShards() int {
 }
 
 // StorageStats returns the disk engine's statistics and true when the
-// Store is persistent; the zero Stats and false otherwise.
+// Store is persistent; the zero Stats and false otherwise. Stats is the
+// fixed accounting view carved out of the same metrics registry Metrics
+// exposes — the counters agree with the lix_storage_* series by
+// construction — and it is read consistently: a Stats racing a flush
+// never shows a segment before the flush that produced it.
 func (s *Store) StorageStats() (storage.Stats, bool) {
 	if s.eng == nil {
 		return storage.Stats{}, false
 	}
 	return s.eng.Stats(), true
+}
+
+// Metrics returns a point-in-time snapshot of every metric the Store —
+// and, when persistent, its storage engine — publishes: traffic counters,
+// latency/size histograms, per-shard drain/retrain durations and queue
+// depths, and (persistent) WAL, flush, compaction, per-segment Bloom
+// funnel, and model-health series. Safe to call concurrently with any
+// other Store method; serialize with Snapshot.WritePrometheus or
+// Snapshot.WriteJSON.
+func (s *Store) Metrics() *obs.Snapshot { return s.reg.Snapshot() }
+
+// Registry exposes the Store's metrics registry so embedders can register
+// their own metrics or collectors on the same export plane.
+func (s *Store) Registry() *obs.Registry { return s.reg }
+
+// DebugAddr returns the bound address of the Options.MetricsAddr debug
+// listener ("host:port", useful with a ":0" request), or "" when none was
+// started.
+func (s *Store) DebugAddr() string {
+	if s.dbg == nil {
+		return ""
+	}
+	return s.dbg.Addr()
 }
 
 // LookupBatch answers Lookup for every probe, in probe order, against one
@@ -743,6 +973,22 @@ func (s *Store) LookupBatch(probes []uint64) []int {
 	if s.strKeys {
 		panic("serve: uint64 read on a string-keyed store")
 	}
+	// Per-batch metrics: two sharded atomic adds (batch count + sampler
+	// tick) plus one histogram add — amortized over the whole batch, which
+	// is what keeps the instrumented build within the <3% overhead gate.
+	// Latency is timed only on 1-in-64 sampled batches.
+	s.m.batches.Inc()
+	s.m.batchLen.Observe(uint64(len(probes)))
+	if obs.Enabled && s.m.sampler.Tick() {
+		start := time.Now()
+		out := s.lookupBatch(probes)
+		s.m.batchNs.ObserveDuration(time.Since(start))
+		return out
+	}
+	return s.lookupBatch(probes)
+}
+
+func (s *Store) lookupBatch(probes []uint64) []int {
 	out := make([]int, len(probes))
 	if len(probes) == 0 {
 		return out

@@ -9,7 +9,9 @@ package serve
 
 import (
 	"slices"
+	"time"
 
+	"learnedindex/internal/obs"
 	"learnedindex/internal/scan"
 )
 
@@ -55,7 +57,13 @@ func (s *Store) openStringScan(lo, hi string, bounded bool) *scan.Iterator[strin
 	if !s.strKeys {
 		panic("serve: string scan on a uint64-keyed store")
 	}
+	s.m.scans.Inc()
+	var start time.Time
+	if obs.Enabled {
+		start = time.Now()
+	}
 	it := scan.Get[string]()
+	it.SetObs(s.m.scanKeys)
 	st := scanStatePool.Get().(*scanState)
 	if s.eng != nil {
 		sn := s.eng.AcquireSnapshotRangeStr(lo, hi, bounded)
@@ -78,6 +86,9 @@ func (s *Store) openStringScan(lo, hi string, bounded bool) *scan.Iterator[strin
 			it.Start(lo, hi, st)
 		} else {
 			it.StartFrom(lo, st)
+		}
+		if obs.Enabled {
+			s.m.scanOpen.ObserveDuration(time.Since(start))
 		}
 		return it
 	}
@@ -102,6 +113,9 @@ func (s *Store) openStringScan(lo, hi string, bounded bool) *scan.Iterator[strin
 		it.Start(lo, hi, st)
 	} else {
 		it.StartFrom(lo, st)
+	}
+	if obs.Enabled {
+		s.m.scanOpen.ObserveDuration(time.Since(start))
 	}
 	return it
 }

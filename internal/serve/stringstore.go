@@ -21,8 +21,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"learnedindex/internal/core"
+	"learnedindex/internal/obs"
 	"learnedindex/internal/slicepool"
 	"learnedindex/internal/storage"
 )
@@ -75,7 +77,7 @@ func OpenString(keys []string, cfg core.Config, opt Options) (*Store, error) {
 	if opt.Dir != "" {
 		return openPersistentStr(keys, cfg, opt)
 	}
-	return newInMemoryStr(keys, cfg, opt), nil
+	return newInMemoryStr(keys, cfg, opt)
 }
 
 func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, error) {
@@ -83,11 +85,13 @@ func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, err
 	if thresh <= 0 {
 		thresh = 4096
 	}
+	reg := obs.NewRegistry()
 	eng, err := storage.Open(opt.Dir, storage.Options{
 		Config:        cfg,
 		BloomFPR:      opt.BloomFPR,
 		CompactFanout: opt.CompactFanout,
 		StringKeys:    true,
+		Reg:           reg,
 	})
 	if err != nil {
 		return nil, err
@@ -101,12 +105,18 @@ func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, err
 		retrainSem: make(chan struct{}, maxConcurrentRetrains()),
 		eng:        eng,
 	}
+	if err := s.initObs(reg, 0, opt.MetricsAddr); err != nil {
+		eng.Close()
+		return nil, err
+	}
 	if len(keys) > 0 {
 		if err := eng.AppendStringBatch(keys); err != nil {
+			s.closeDebug()
 			eng.Close()
 			return nil, err
 		}
 		if err := eng.Flush(); err != nil {
+			s.closeDebug()
 			eng.Close()
 			return nil, err
 		}
@@ -116,7 +126,7 @@ func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, err
 	return s, nil
 }
 
-func newInMemoryStr(keys []string, cfg core.Config, opt Options) *Store {
+func newInMemoryStr(keys []string, cfg core.Config, opt Options) (*Store, error) {
 	nsh := opt.Shards
 	if nsh <= 0 {
 		nsh = 8
@@ -170,9 +180,12 @@ func newInMemoryStr(keys []string, cfg core.Config, opt Options) *Store {
 		s.shardsS[i] = sh
 		lo = hi
 	}
+	if err := s.initObs(obs.NewRegistry(), nsh, opt.MetricsAddr); err != nil {
+		return nil, err
+	}
 	s.wg.Add(1)
 	go s.merger()
-	return s
+	return s, nil
 }
 
 // shardForString routes a string key to its range partition.
@@ -188,6 +201,7 @@ func (s *Store) InsertString(key string) {
 	if !s.strKeys {
 		panic("serve: string insert on a uint64-keyed store")
 	}
+	s.m.inserts.Inc()
 	if s.eng != nil {
 		if s.eng.AppendString(key) != nil {
 			return // sticky; reported by Sync/Close
@@ -230,8 +244,16 @@ func (s *Store) InsertDurableString(keys ...string) error {
 		}
 		return nil
 	}
+	s.m.inserts.Add(int64(len(keys)))
+	var start time.Time
+	if obs.Enabled {
+		start = time.Now()
+	}
 	if err := s.eng.CommitStringBatch(keys); err != nil {
 		return err
+	}
+	if obs.Enabled {
+		s.m.insertNs.ObserveDuration(time.Since(start))
 	}
 	if s.eng.PendingLen() >= s.thresh {
 		select {
@@ -307,6 +329,10 @@ func (s *Store) drainStr(i int) {
 	}
 	s.retrainSem <- struct{}{}
 	defer func() { <-s.retrainSem }()
+	var drainStart time.Time
+	if obs.Enabled {
+		drainStart = time.Now()
+	}
 	work := append(getStrShardBuf(), buf...)
 	slices.Sort(work)
 	deduped := slices.Compact(work)
@@ -316,18 +342,44 @@ func (s *Store) drainStr(i int) {
 		release(work)
 		return
 	}
-	sh.snap.Store(newStrSnapshot(merged, s.cfg, s.retrainWorkers()))
-	s.merges.Add(1)
+	var trainStart time.Time
+	if obs.Enabled {
+		trainStart = time.Now()
+	}
+	snap := newStrSnapshot(merged, s.cfg, s.retrainWorkers())
+	if obs.Enabled {
+		s.m.trainNs[i].ObserveDuration(time.Since(trainStart))
+	}
+	sh.snap.Store(snap)
+	s.m.swaps.Inc()
 	release(work)
+	if obs.Enabled {
+		s.m.drainNs[i].ObserveDuration(time.Since(drainStart))
+	}
 }
 
 // LookupString returns the global lower-bound position of key over the
 // committed view in codec (byte) order: the index of the first committed
-// key >= key.
+// key >= key. Metrics are 1-in-64 sampled like Lookup, but through the
+// store's shared Sampler — a string key has no cheap hash to slice — so
+// an unsampled call pays one sharded atomic add.
 func (s *Store) LookupString(key string) int {
 	if !s.strKeys {
 		panic("serve: string read on a uint64-keyed store")
 	}
+	if s.m.sampler.Tick() {
+		s.m.lookups.Add(64)
+		if obs.Enabled {
+			start := time.Now()
+			pos := s.lookupStrPos(key)
+			s.m.lookupNs.ObserveDuration(time.Since(start))
+			return pos
+		}
+	}
+	return s.lookupStrPos(key)
+}
+
+func (s *Store) lookupStrPos(key string) int {
 	if s.eng != nil {
 		return s.eng.LookupString(key)
 	}

@@ -94,6 +94,22 @@ type segment struct {
 	// only so Stats-style readers could peek without the lock).
 	pins   atomic.Int32
 	zombie bool
+
+	// Bloom funnel (internal/obs): fence-passed probes, filter passes, and
+	// true hits. pass−hits is the false positives actually paid; the engine
+	// collector derives the observed FPR from the three counts. Plain
+	// atomics — the engine's hottest counters are global and sharded, but a
+	// funnel split per segment already spreads the contention — and the
+	// increments compile out under -tags noobs.
+	bloomProbes atomic.Uint64
+	bloomPass   atomic.Uint64
+	bloomHits   atomic.Uint64
+}
+
+// name is the segment's metric-label identity: its sequence range, the
+// same pair the filename carries.
+func (s *segment) name() string {
+	return fmt.Sprintf("%04x-%04x", s.seqLo, s.seqHi)
 }
 
 func (s *segment) minKey() uint64 { return s.keys[0] }

@@ -117,6 +117,7 @@ func (sn *Snapshot) Release() {
 	for i, s := range sn.segs {
 		if s.pins.Add(-1) == 0 && s.zombie {
 			s.zombie = false // claimed under segMu: exactly one releaser unlinks
+			e.m.zombies.Add(-1)
 			sweep = append(sweep, s.path)
 		}
 		sn.segs[i] = nil
@@ -147,6 +148,7 @@ func (e *Engine) retireLocked(s *segment) string {
 		return s.path
 	}
 	s.zombie = true
+	e.m.zombies.Add(1)
 	return ""
 }
 

@@ -48,8 +48,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"learnedindex/internal/core"
+	"learnedindex/internal/obs"
 	"learnedindex/internal/slicepool"
 )
 
@@ -75,6 +77,11 @@ type Options struct {
 	// kind, and calling a uint64 method on a string engine (or vice versa)
 	// panics.
 	StringKeys bool
+	// Reg is the metrics registry the engine publishes into (internal/obs):
+	// its accounting counters, WAL/flush/compaction histograms, and the
+	// snapshot-time collector for segment-level series all live there. Nil
+	// means the engine owns a private registry, reachable via Registry().
+	Reg *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -92,7 +99,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats is a point-in-time snapshot of engine state for reports.
+// Stats is a point-in-time snapshot of engine state for reports: a fixed
+// view over the engine's registry metrics (Registry/Metrics expose the
+// full plane). The segment list and the flush/compaction counters are read
+// under one acquisition of the publication lock, so a Stats taken
+// concurrently with a Flush never shows a published segment before the
+// flush that produced it is counted.
 type Stats struct {
 	Segments      int
 	Keys          int
@@ -166,12 +178,43 @@ type Engine struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 
-	modelsLoaded  atomic.Int64
-	modelsTrained atomic.Int64
-	flushes       atomic.Int64
-	compactions   atomic.Int64
-	walSyncs      atomic.Int64 // fsyncs issued by the commit plane
-	commits       atomic.Int64 // Commit calls acknowledged
+	reg *obs.Registry
+	m   engineMetrics
+}
+
+// engineMetrics is the engine's handle bundle into its registry. The
+// counters ARE the engine's accounting (Stats reads them back), so they
+// exist in every build; the histograms compile to no-ops under -tags
+// noobs.
+type engineMetrics struct {
+	modelsLoaded  *obs.Counter // RMIs deserialized from disk at Open
+	modelsTrained *obs.Counter // RMIs trained by flushes and compactions
+	flushes       *obs.Counter // bumped with segment publication (see Stats)
+	compactions   *obs.Counter
+	walSyncs      *obs.Counter // fsyncs issued by the commit plane
+	commits       *obs.Counter // Commit calls acknowledged (group-committed)
+	zombies       *obs.Gauge   // compacted-away segments awaiting last unpin
+
+	fsyncNs       *obs.Histogram // latency of each commit-plane fsync
+	cohortCommits *obs.Histogram // Commit batches covered per cohort drain
+	flushNs       *obs.Histogram // freeze→train→publish, whole flush
+	compactNs     *obs.Histogram // merge→train→publish, one compaction
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		modelsLoaded:  reg.Counter("lix_storage_models_loaded_total"),
+		modelsTrained: reg.Counter("lix_storage_models_trained_total"),
+		flushes:       reg.Counter("lix_storage_flushes_total"),
+		compactions:   reg.Counter("lix_storage_compactions_total"),
+		walSyncs:      reg.Counter("lix_storage_wal_syncs_total"),
+		commits:       reg.Counter("lix_storage_commits_total"),
+		zombies:       reg.Gauge("lix_storage_zombie_segments"),
+		fsyncNs:       reg.Histogram("lix_wal_fsync_ns"),
+		cohortCommits: reg.Histogram("lix_wal_cohort_commits"),
+		flushNs:       reg.Histogram("lix_storage_flush_ns"),
+		compactNs:     reg.Histogram("lix_storage_compaction_ns"),
+	}
 }
 
 // Open recovers (or creates) the engine rooted at dir: load and validate
@@ -190,6 +233,12 @@ func Open(dir string, opts Options) (*Engine, error) {
 		compactCh: make(chan struct{}, 1),
 		quit:      make(chan struct{}),
 	}
+	e.reg = opts.Reg
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.m = newEngineMetrics(e.reg)
+	e.reg.RegisterCollector(e.collect)
 	e.syncCond = sync.NewCond(&e.mu)
 	segs, nextSeq, err := loadSegments(dir)
 	if err != nil {
@@ -203,7 +252,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 				dir, map[bool]string{true: "string-keyed", false: "uint64-keyed"}[s.isString()], opts.StringKeys)
 		}
 	}
-	e.modelsLoaded.Store(int64(len(segs)))
+	e.m.modelsLoaded.Add(int64(len(segs)))
 	e.segs.Store(&segs)
 	e.nextSeq = nextSeq
 
@@ -232,7 +281,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 			recovered = append(recovered, keys...)
 		}
 		if len(recovered) > 0 {
-			if err := e.materializeStrings(recovered); err != nil {
+			if _, err := e.materializeStrings(recovered, false); err != nil {
 				return nil, err
 			}
 		}
@@ -247,7 +296,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 			recovered = append(recovered, keys...)
 		}
 		if len(recovered) > 0 {
-			if err := e.materialize(recovered); err != nil {
+			if _, err := e.materialize(recovered, false); err != nil {
 				return nil, err
 			}
 		}
@@ -469,7 +518,7 @@ func (e *Engine) CommitStringBatch(keys []string) error {
 	e.appendSeq++
 	err := e.waitDurable(e.appendSeq)
 	if err == nil {
-		e.commits.Add(1)
+		e.m.commits.Inc()
 	}
 	return err
 }
@@ -499,7 +548,7 @@ func (e *Engine) CommitBatch(keys []uint64) error {
 	e.appendSeq++
 	err := e.waitDurable(e.appendSeq)
 	if err == nil {
-		e.commits.Add(1)
+		e.m.commits.Inc()
 	}
 	return err
 }
@@ -517,6 +566,7 @@ func (e *Engine) drainCohortLocked() {
 	if len(e.cohort) == 0 || e.err != nil {
 		return
 	}
+	e.m.cohortCommits.Observe(uint64(len(e.cohort)))
 	// Chunk by total key count so a monster cohort still respects the
 	// per-record bound; batches themselves are never split (each is at
 	// most one caller's Commit, far below the chunk limit in practice —
@@ -564,6 +614,7 @@ func (e *Engine) drainCohortStrLocked() {
 	if len(e.cohortS) == 0 || e.err != nil {
 		return
 	}
+	e.m.cohortCommits.Observe(uint64(len(e.cohortS)))
 	start, bytes := 0, 0
 	flushRun := func(end int) {
 		if e.err != nil || start >= end {
@@ -690,9 +741,11 @@ func (e *Engine) waitDurable(target uint64) error {
 		covered := e.appendSeq // everything encoded so far rides this fsync
 		w := e.wal
 		e.mu.Unlock()
+		fsyncStart := time.Now()
 		serr := w.fsync()
+		e.m.fsyncNs.ObserveDuration(time.Since(fsyncStart))
 		e.mu.Lock()
-		e.walSyncs.Add(1)
+		e.m.walSyncs.Inc()
 		if serr != nil && e.err == nil {
 			e.err = serr
 		}
@@ -726,6 +779,7 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return nil
 	}
+	flushStart := time.Now()
 	// Queued Commit batches must land in the log being frozen: their keys
 	// are already pending (and will reach the segment), so their frames
 	// have to be covered by this fsync for the ack plane to stay honest.
@@ -752,12 +806,14 @@ func (e *Engine) Flush() error {
 	// The frozen log must be durable before the ack plane moves past it:
 	// a Sync arriving after the freeze fsyncs only the new active log, so
 	// any still-buffered frozen bytes have to hit disk here.
+	fsyncStart := time.Now()
 	if err := frozen.sync(); err != nil {
 		e.err = err
 		e.mu.Unlock()
 		return err
 	}
-	e.walSyncs.Add(1)
+	e.m.fsyncNs.ObserveDuration(time.Since(fsyncStart))
+	e.m.walSyncs.Inc()
 	// Everything encoded so far is now on disk; release any committers
 	// waiting on the old log before the heavy training starts.
 	if e.appendSeq > e.durableSeq {
@@ -774,11 +830,12 @@ func (e *Engine) Flush() error {
 	e.wal = nw
 	e.mu.Unlock()
 
+	var published bool
 	var merr error
 	if e.opts.StringKeys {
-		merr = e.materializeStrings(snapS)
+		published, merr = e.materializeStrings(snapS, true)
 	} else {
-		merr = e.materialize(snap)
+		published, merr = e.materialize(snap, true)
 	}
 	if merr != nil {
 		// Keep the frozen log file on disk — it is the only durable home
@@ -808,7 +865,13 @@ func (e *Engine) Flush() error {
 	} else {
 		putPendingBuf(snap)
 	}
-	e.flushes.Add(1)
+	if !published {
+		// Everything deduplicated away: no segment, so the count cannot
+		// ride a publication — it lands here. (Publishing flushes are
+		// counted under segMu with their segment; see materialize.)
+		e.m.flushes.Inc()
+	}
+	e.m.flushNs.ObserveDuration(time.Since(flushStart))
 	e.kickCompactor()
 	return nil
 }
@@ -835,9 +898,13 @@ func putPendingStrBuf(b []string) {
 }
 
 // materialize dedupes keys against the served segments and commits the
-// novel remainder as one new trained segment. Called from Flush (off the
-// write mutex) and from Open (recovery replay).
-func (e *Engine) materialize(keys []uint64) error {
+// novel remainder as one new trained segment, reporting whether a segment
+// was published. Called from Flush (off the write mutex, countFlush=true)
+// and from Open (recovery replay, countFlush=false — recovery is not a
+// flush). With countFlush, the flush counter is bumped under segMu
+// together with the publication, so a concurrent Stats never observes the
+// segment without its flush.
+func (e *Engine) materialize(keys []uint64, countFlush bool) (bool, error) {
 	fresh := slices.Clone(keys)
 	slices.Sort(fresh)
 	fresh = slices.Compact(fresh)
@@ -845,46 +912,52 @@ func (e *Engine) materialize(keys []uint64) error {
 	segs := *e.segs.Load()
 	fresh = slices.DeleteFunc(fresh, func(k uint64) bool { return containsIn(segs, k) })
 	if len(fresh) == 0 {
-		return nil
+		return false, nil
 	}
 	seq := e.nextSeq
 	seg, err := writeSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
 	if err != nil {
-		return err
+		return false, err
 	}
 	e.nextSeq = seq + 1
-	e.modelsTrained.Add(1)
 	e.segMu.Lock()
 	next := append(slices.Clone(*e.segs.Load()), seg)
 	e.segs.Store(&next)
+	e.m.modelsTrained.Inc()
+	if countFlush {
+		e.m.flushes.Inc()
+	}
 	e.segMu.Unlock()
-	return nil
+	return true, nil
 }
 
 // materializeStrings is materialize for string keys: dedupe against the
 // served v2 segments, train a prefix index over the novel remainder, and
 // publish it as one new segment.
-func (e *Engine) materializeStrings(keys []string) error {
+func (e *Engine) materializeStrings(keys []string, countFlush bool) (bool, error) {
 	fresh := slices.Clone(keys)
 	slices.Sort(fresh)
 	fresh = slices.Compact(fresh)
 	segs := *e.segs.Load()
 	fresh = slices.DeleteFunc(fresh, func(k string) bool { return containsInStr(segs, k) })
 	if len(fresh) == 0 {
-		return nil
+		return false, nil
 	}
 	seq := e.nextSeq
 	seg, err := writeStringSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
 	if err != nil {
-		return err
+		return false, err
 	}
 	e.nextSeq = seq + 1
-	e.modelsTrained.Add(1)
 	e.segMu.Lock()
 	next := append(slices.Clone(*e.segs.Load()), seg)
 	e.segs.Store(&next)
+	e.m.modelsTrained.Inc()
+	if countFlush {
+		e.m.flushes.Inc()
+	}
 	e.segMu.Unlock()
-	return nil
+	return true, nil
 }
 
 // walName returns the engine's mode-appropriate WAL filename for seq.
@@ -943,10 +1016,22 @@ func containsIn(segs []*segment, key uint64) bool {
 		if key < s.minKey() || key > s.maxKey() {
 			continue
 		}
+		// Bloom funnel (probe → pass → hit): pass−hit is the false
+		// positives actually paid, and the collector derives the observed
+		// FPR from the three counts. Compiled out under -tags noobs.
+		if obs.Enabled {
+			s.bloomProbes.Add(1)
+		}
 		if !s.filter.MayContainUint64(key) {
 			continue
 		}
+		if obs.Enabled {
+			s.bloomPass.Add(1)
+		}
 		if s.plan.Contains(key) {
+			if obs.Enabled {
+				s.bloomHits.Add(1)
+			}
 			return true
 		}
 	}
@@ -961,10 +1046,19 @@ func containsInStr(segs []*segment, key string) bool {
 		if key < s.minStr() || key > s.maxStr() {
 			continue
 		}
+		if obs.Enabled {
+			s.bloomProbes.Add(1)
+		}
 		if !s.filter.MayContain(key) {
 			continue
 		}
+		if obs.Enabled {
+			s.bloomPass.Add(1)
+		}
 		if s.sindex.Contains(key) {
+			if obs.Enabled {
+				s.bloomHits.Add(1)
+			}
 			return true
 		}
 	}
@@ -1149,18 +1243,27 @@ func (e *Engine) KeysStrings() []string {
 	return out
 }
 
-// Stats snapshots the engine's observable state.
+// Stats snapshots the engine's observable state: a typed view over the
+// registry counters plus the segment list. Segment-derived fields and the
+// flush/compaction counters are read under one segMu acquisition — the
+// same lock every publication bumps its counter under — so the view is
+// internally consistent: a segment never appears before the flush or
+// compaction that produced it. (Recovery publishes its replay segment
+// without a flush, so Segments <= Flushes holds from any fresh directory,
+// not across a crash replay.)
 func (e *Engine) Stats() Stats {
+	e.segMu.Lock()
 	segs := *e.segs.Load()
 	st := Stats{
 		Segments:      len(segs),
-		ModelsLoaded:  int(e.modelsLoaded.Load()),
-		ModelsTrained: int(e.modelsTrained.Load()),
-		Flushes:       int(e.flushes.Load()),
-		Compactions:   int(e.compactions.Load()),
-		WALSyncs:      int(e.walSyncs.Load()),
-		Commits:       int(e.commits.Load()),
+		ModelsLoaded:  int(e.m.modelsLoaded.Load()),
+		ModelsTrained: int(e.m.modelsTrained.Load()),
+		Flushes:       int(e.m.flushes.Load()),
+		Compactions:   int(e.m.compactions.Load()),
+		WALSyncs:      int(e.m.walSyncs.Load()),
+		Commits:       int(e.m.commits.Load()),
 	}
+	e.segMu.Unlock()
 	for _, s := range segs {
 		st.Keys += s.numKeys()
 		st.DiskBytes += s.diskBytes
@@ -1172,6 +1275,99 @@ func (e *Engine) Stats() Stats {
 	}
 	e.mu.Unlock()
 	return st
+}
+
+// Registry returns the engine's metrics registry (the one Options.Reg
+// supplied, or the private default).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Metrics snapshots the full metrics plane: registry counters and
+// histograms plus the collector-injected engine gauges and per-segment
+// series. Safe to call concurrently with everything.
+func (e *Engine) Metrics() *obs.Snapshot { return e.reg.Snapshot() }
+
+// collect is the engine's registry collector: point-in-time gauges that
+// have no meaningful event stream (sizes, depths, debt) and the
+// per-segment series — Bloom funnel with observed FPR, and the compiled
+// plan's model-health histograms against its trained bound.
+func (e *Engine) collect(s *obs.Snapshot) {
+	segs := *e.segs.Load()
+	keys, disk := 0, int64(0)
+	pinned := 0
+	for _, sg := range segs {
+		keys += sg.numKeys()
+		disk += sg.diskBytes
+		if sg.pins.Load() > 0 {
+			pinned++
+		}
+	}
+	s.SetGauge("lix_storage_segments", float64(len(segs)))
+	s.SetGauge("lix_storage_keys", float64(keys))
+	s.SetGauge("lix_storage_disk_bytes", float64(disk))
+	s.SetGauge("lix_storage_pinned_segments", float64(pinned))
+	s.SetGauge("lix_storage_compaction_debt", float64(compactionDebt(segs, e.opts.CompactFanout)))
+	e.mu.Lock()
+	pending := len(e.pending) + len(e.pendingS)
+	var walBytes int64
+	if e.wal != nil {
+		walBytes = e.wal.size
+	}
+	e.mu.Unlock()
+	s.SetGauge("lix_storage_pending_keys", float64(pending))
+	s.SetGauge("lix_storage_wal_bytes", float64(walBytes))
+
+	var allErr, allLen obs.HistSnapshot
+	maxBound := 0
+	for _, sg := range segs {
+		name := sg.name()
+		probes := int64(sg.bloomProbes.Load())
+		pass := int64(sg.bloomPass.Load())
+		hits := int64(sg.bloomHits.Load())
+		s.AddCounter(obs.L("lix_segment_bloom_probes_total", "segment", name), probes)
+		s.AddCounter(obs.L("lix_segment_bloom_pass_total", "segment", name), pass)
+		s.AddCounter(obs.L("lix_segment_bloom_hits_total", "segment", name), hits)
+		// Observed FPR: of the probes the filter could have pruned (the
+		// true negatives), how many leaked through as false positives.
+		if negatives := probes - hits; negatives > 0 {
+			s.SetGauge(obs.L("lix_segment_bloom_fpr", "segment", name),
+				float64(pass-hits)/float64(negatives))
+		}
+		if sg.plan == nil {
+			continue // string segments: codec index, no uint64 plan
+		}
+		errH, lenH := sg.plan.ObsModelErr(), sg.plan.ObsSearchLen()
+		bound := sg.plan.TrainedErrBound()
+		s.AddHistogram(obs.L("lix_segment_model_err", "segment", name), errH)
+		s.AddHistogram(obs.L("lix_segment_search_window", "segment", name), lenH)
+		s.SetGauge(obs.L("lix_segment_trained_err_bound", "segment", name), float64(bound))
+		allErr.Merge(errH)
+		allLen.Merge(lenH)
+		if bound > maxBound {
+			maxBound = bound
+		}
+	}
+	s.AddHistogram("lix_storage_model_err", allErr)
+	s.AddHistogram("lix_storage_search_window", allLen)
+	s.SetGauge("lix_storage_trained_err_bound", float64(maxBound))
+}
+
+// compactionDebt counts the segments sitting in merge-eligible runs: how
+// much work the size-tiered compactor has queued up. Zero means every tier
+// is under its fanout.
+func compactionDebt(segs []*segment, fanout int) int {
+	debt := 0
+	for i := 0; i < len(segs); {
+		c := sizeClass(segs[i].diskBytes)
+		j := i
+		for j < len(segs) && sizeClass(segs[j].diskBytes) == c {
+			j++
+		}
+		if j-i >= fanout {
+			debt += j - i
+		}
+		i = j
+	}
+	return debt
 }
 
 // Dir returns the engine's root directory.
@@ -1267,6 +1463,7 @@ func (e *Engine) compactOnce() (bool, error) {
 
 	// Heavy work off the lock: merge the disjoint sorted runs and train
 	// the replacement. Readers keep serving the old list meanwhile.
+	compactStart := time.Now()
 	var seg *segment
 	var err error
 	if e.opts.StringKeys {
@@ -1284,7 +1481,6 @@ func (e *Engine) compactOnce() (bool, error) {
 		e.mu.Unlock()
 		return false, err
 	}
-	e.modelsTrained.Add(1)
 
 	e.segMu.Lock()
 	cur := slices.Clone(*e.segs.Load())
@@ -1305,11 +1501,15 @@ func (e *Engine) compactOnce() (bool, error) {
 			sweep = append(sweep, p)
 		}
 	}
+	// Counted under segMu with the swap, like flushes: a concurrent Stats
+	// never sees the merged list before the compaction that made it.
+	e.m.modelsTrained.Inc()
+	e.m.compactions.Inc()
 	e.segMu.Unlock()
 	for _, p := range sweep {
 		os.Remove(p)
 	}
-	e.compactions.Add(1)
+	e.m.compactNs.ObserveDuration(time.Since(compactStart))
 	return true, nil
 }
 

@@ -46,6 +46,7 @@ package learnedindex
 import (
 	"learnedindex/internal/core"
 	"learnedindex/internal/keycodec"
+	"learnedindex/internal/obs"
 	"learnedindex/internal/scan"
 	"learnedindex/internal/serve"
 	"learnedindex/internal/storage"
@@ -112,6 +113,26 @@ type (
 	// StorageStats reports a persistent Store's disk state: segments,
 	// bytes, WAL size, and how many models were deserialized vs trained.
 	StorageStats = storage.Stats
+
+	// Metrics is a point-in-time snapshot of a Store's always-on metrics
+	// plane, returned by Store.Metrics(): traffic counters, latency and
+	// size histograms (with Quantile/Mean/Max accessors), per-shard drain
+	// and retrain durations, queue depths, and — on a persistent Store —
+	// WAL fsync latency, group-commit cohort sizes, flush/compaction
+	// durations, per-segment Bloom probe→pass→hit funnels with observed
+	// false-positive rates, and per-plan observed model error against the
+	// trained error bound. Serialize with WritePrometheus (text exposition
+	// format) or WriteJSON; building the library with -tags noobs
+	// compiles the histogram plane out (counters stay real). See
+	// StoreOptions.MetricsAddr for the built-in debug HTTP listener.
+	Metrics = obs.Snapshot
+	// MetricsRegistry is the registry behind a Store's metrics plane
+	// (Store.Registry()): embedders can hang their own counters, gauges,
+	// histograms, and snapshot-time collectors off the same export plane.
+	MetricsRegistry = obs.Registry
+	// HistogramSnapshot is one histogram's view inside Metrics: log-bucketed
+	// counts with Quantile, Mean, and Max accessors.
+	HistogramSnapshot = obs.HistSnapshot
 
 	// Iterator streams a Store.Scan: the snapshot-consistent ascending
 	// deduplicated union of every layer (insert buffers, shard snapshots,
