@@ -6,9 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, scan, stringkeys, obs, all (everything except
-// the GRU-training path of figure10; add -gru to include it). serve,
-// storage, compiled, searchshootout, writepath, scan, stringkeys, and obs
+// searchshootout, writepath, scan, stringkeys, obs, faults, all
+// (everything except the GRU-training path of figure10; add -gru to
+// include it). serve, storage, compiled, searchshootout, writepath, scan,
+// stringkeys, obs, and faults
 // are this repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
@@ -29,7 +30,11 @@
 // overhead probe — single-key lookup, batch-16, scan Next, and durable
 // commit, with the build (metrics=on vs -tags noobs metrics=off) baked
 // into each config name so two runs merged via bestof expose the on/off
-// delta per surface.
+// delta per surface; faults is the fault-injection seam probe — the
+// durable-commit and flush gates run on the raw vfs.OS passthrough and
+// again through a disarmed vfs.FaultFS, with the per-gate overhead of the
+// injectable indirection (the failure-model PR's <1% claim) and the cost
+// of a clean scrub pass in each row's extras.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -85,7 +90,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|faults|all>...")
 		fmt.Fprintln(os.Stderr, "       lix-bench [-regress pct] diff <priorDir> <freshDir>")
 		os.Exit(2)
 	}
@@ -172,8 +177,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.StringKeys(opts)
 	case "obs":
 		experiments.Obs(opts)
+	case "faults":
+		experiments.Faults(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs", "faults"} {
 			run(e, opts, gru)
 		}
 		return

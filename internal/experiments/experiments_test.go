@@ -380,3 +380,22 @@ func TestObsShapeHolds(t *testing.T) {
 		t.Fatal("table not rendered")
 	}
 }
+
+func TestFaultsShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := Faults(o)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerOpNs <= 0 || r.Wall <= 0 {
+			t.Errorf("%s: no measurement (%+v)", r.Name, r)
+		}
+		if !strings.Contains(r.Name, "/fs=") {
+			t.Errorf("%s: config name does not carry the filesystem", r.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "Fault-injection seam overhead") {
+		t.Fatal("table not rendered")
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/storage"
+	"learnedindex/internal/vfs"
+)
+
+// FaultsRow is one measured configuration of the fault-injection seam.
+type FaultsRow struct {
+	Name        string
+	Wall        time.Duration
+	PerOpNs     float64
+	OverheadPct float64 // vs the vfs.OS twin row; 0 on baseline rows
+}
+
+// Faults measures what the vfs seam costs on the write-path gates: the
+// same durable-commit, flush, and scrub workloads run against two live
+// engines — one on the raw vfs.OS passthrough, one through a disarmed
+// vfs.FaultFS (every file operation takes the full injection path: armed
+// check, hook load, with no fault firing). The twins are interleaved at
+// the finest unit each gate has (100-commit chunks, single flush cycles,
+// single scrub passes) with the order alternating, so device drift is
+// common-mode within a pair and cancels in the ratio; the reported
+// overhead is the median paired ratio, and the reported ns/op is each
+// config's floor. The overhead_pct_vs_os extras are the claim the
+// failure-model PR rides on: routing all storage I/O through the
+// injectable seam costs under 1% on Engine.Commit (fsync-bound) and
+// Flush (train-bound).
+func Faults(o Options) []FaultsRow {
+	o = o.withDefaults()
+	rep := &bench.Report{Experiment: "faults", N: o.N, Probes: o.Probes}
+
+	commits := o.N / 200
+	if commits < 500 {
+		commits = 500
+	}
+	if commits > 5000 {
+		commits = 5000
+	}
+	const chunk = 100
+	nchunks := commits / chunk
+	flushN := o.N / 4
+	const flushCycles = 3
+	const scrubPasses = 5
+
+	disarmed := vfs.NewFaultFS(vfs.OS, vfs.FaultConfig{Seed: o.Seed})
+	disarmed.Disarm()
+
+	const osName, ffName = "os", "faultfs-disarmed"
+	mins := map[string][3]time.Duration{} // per config: commit-chunk, flush, scrub floors
+	record := func(name string, idx int, d time.Duration) {
+		cur, ok := mins[name]
+		if !ok {
+			cur = [3]time.Duration{}
+		}
+		if cur[idx] == 0 || d < cur[idx] {
+			cur[idx] = d
+		}
+		mins[name] = cur
+	}
+	var ratios [3][]float64 // per gate: paired (faultfs/os - 1) samples
+	pair := func(idx int, dos, dff time.Duration) {
+		record(osName, idx, dos)
+		record(ffName, idx, dff)
+		if dos > 0 {
+			ratios[idx] = append(ratios[idx], float64(dff)/float64(dos)-1)
+		}
+	}
+
+	type eng struct {
+		e   *storage.Engine
+		dir string
+	}
+	open := func(fs vfs.FS) eng {
+		dir, err := os.MkdirTemp(o.Dir, "lix-faults-*")
+		if err != nil {
+			panic(fmt.Sprintf("faults experiment: %v", err))
+		}
+		e, err := storage.Open(dir, storage.Options{NoCompactor: true, FS: fs})
+		if err != nil {
+			panic(fmt.Sprintf("faults experiment: open: %v", err))
+		}
+		return eng{e, dir}
+	}
+
+	for r := 0; r < o.Rounds; r++ {
+		eos, eff := open(vfs.OS), open(disarmed)
+
+		// Commit gate: paired 100-commit chunks, order alternating.
+		commitChunk := func(g eng, i int) time.Duration {
+			start := time.Now()
+			for j := i * chunk; j < (i+1)*chunk; j++ {
+				if err := g.e.Commit(uint64(j)*2654435761 + 17); err != nil {
+					panic(fmt.Sprintf("faults experiment: commit: %v", err))
+				}
+			}
+			return time.Since(start)
+		}
+		for i := 0; i < nchunks; i++ {
+			var dos, dff time.Duration
+			if i%2 == 0 {
+				dos, dff = commitChunk(eos, i), commitChunk(eff, i)
+			} else {
+				dff, dos = commitChunk(eff, i), commitChunk(eos, i)
+			}
+			pair(0, dos, dff)
+		}
+
+		// Flush gate: paired append+flush cycles over disjoint key blocks.
+		keys := make([]uint64, flushN)
+		flushCycle := func(g eng, cycle int) time.Duration {
+			for i := range keys {
+				keys[i] = uint64(cycle)<<40 | uint64(i)<<8 | 5
+			}
+			if err := g.e.AppendBatch(keys); err != nil {
+				panic(fmt.Sprintf("faults experiment: append: %v", err))
+			}
+			// Flush times RMI training; park the collector first so GC
+			// assists land between samples instead of skewing one twin.
+			runtime.GC()
+			start := time.Now()
+			if err := g.e.Flush(); err != nil {
+				panic(fmt.Sprintf("faults experiment: flush: %v", err))
+			}
+			return time.Since(start)
+		}
+		for cycle := 0; cycle < flushCycles; cycle++ {
+			var dos, dff time.Duration
+			if cycle%2 == 0 {
+				dos, dff = flushCycle(eos, cycle), flushCycle(eff, cycle)
+			} else {
+				dff, dos = flushCycle(eff, cycle), flushCycle(eos, cycle)
+			}
+			pair(1, dos, dff)
+		}
+
+		// Scrub: paired clean integrity passes over the flushed segments.
+		scrubPass := func(g eng) time.Duration {
+			start := time.Now()
+			if _, healed, err := g.e.Scrub(); err != nil || healed != 0 {
+				panic(fmt.Sprintf("faults experiment: scrub healed=%d err=%v", healed, err))
+			}
+			return time.Since(start)
+		}
+		for p := 0; p < scrubPasses; p++ {
+			var dos, dff time.Duration
+			if p%2 == 0 {
+				dos, dff = scrubPass(eos), scrubPass(eff)
+			} else {
+				dff, dos = scrubPass(eff), scrubPass(eos)
+			}
+			pair(2, dos, dff)
+		}
+
+		for _, g := range []eng{eos, eff} {
+			g.e.Close()
+			os.RemoveAll(g.dir)
+		}
+	}
+
+	medianPct := func(idx int) float64 {
+		rs := slices.Clone(ratios[idx])
+		slices.Sort(rs)
+		mid := len(rs) / 2
+		med := rs[mid]
+		if len(rs)%2 == 0 {
+			med = (rs[mid-1] + rs[mid]) / 2
+		}
+		return med * 100
+	}
+
+	var rows []FaultsRow
+	gates := []struct {
+		gate  string
+		idx   int
+		ops   int // ops behind one floor sample
+		scale int // floor samples per full gate (for the Wall column)
+	}{
+		{"commit", 0, chunk, nchunks},
+		{"flush", 1, flushN, 1},
+		{"scrub", 2, flushCycles*flushN + commits, 1},
+	}
+	for _, g := range gates {
+		for _, name := range []string{osName, ffName} {
+			floor := mins[name][g.idx]
+			row := FaultsRow{
+				Name:    fmt.Sprintf("%s/fs=%s", g.gate, name),
+				Wall:    floor * time.Duration(g.scale),
+				PerOpNs: float64(floor.Nanoseconds()) / float64(g.ops),
+			}
+			extra := map[string]float64{
+				"wall_ms": float64(row.Wall.Microseconds()) / 1000,
+			}
+			if name == ffName {
+				row.OverheadPct = medianPct(g.idx)
+				extra["overhead_pct_vs_os"] = row.OverheadPct
+			}
+			rows = append(rows, row)
+			// The scrub pass is microsecond-scale — far too jittery for the
+			// CI diff gate's ns/op tolerance — so it renders in the table
+			// but stays out of the tracked JSON.
+			if g.gate != "scrub" {
+				rep.Add(bench.ReportRow{Config: row.Name, NsPerOp: row.PerOpNs, Extra: extra})
+			}
+		}
+	}
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("Fault-injection seam overhead: vfs.OS vs disarmed FaultFS (%d commits, %d flush keys, %d rounds, paired-median overhead)",
+			commits, flushN, o.Rounds),
+		Headers: []string{"Config", "Wall (ms)", "ns/op", "Overhead"},
+	}
+	for _, r := range rows {
+		over := "-"
+		if r.OverheadPct != 0 {
+			over = fmt.Sprintf("%+.2f%%", r.OverheadPct)
+		}
+		t.Add(r.Name,
+			fmt.Sprintf("%.2f", float64(r.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", r.PerOpNs),
+			over)
+	}
+	render(o, t)
+	emitJSON(o, rep)
+	return rows
+}

@@ -81,6 +81,7 @@ import (
 	"learnedindex/internal/search"
 	"learnedindex/internal/slicepool"
 	"learnedindex/internal/storage"
+	"learnedindex/internal/vfs"
 )
 
 // Options configures a Store.
@@ -111,6 +112,20 @@ type Options struct {
 	// network perimeter already restricts access. The bound address is
 	// reported by DebugAddr; the listener closes with the Store.
 	MetricsAddr string
+	// FS is the filesystem a persistent Store performs every file
+	// operation on (internal/vfs). Nil means the real OS; fault-injection
+	// tests swap in a vfs.FaultFS. Ignored when Dir is empty.
+	FS vfs.FS
+	// ScrubInterval, when > 0 on a persistent Store, starts the engine's
+	// background scrubber: segment files are re-checksummed on this period
+	// and rewritten from memory if they rotted on disk. Ignored when Dir
+	// is empty.
+	ScrubInterval time.Duration
+	// BackpressureDebt is the persistent engine's compaction-debt
+	// threshold at which writers briefly stall so the compactor can catch
+	// up: 0 means the engine default, negative disables backpressure.
+	// Ignored when Dir is empty.
+	BackpressureDebt int
 }
 
 // snapshot is one shard's immutable published state. Nothing in it is ever
@@ -358,10 +373,13 @@ func openPersistent(keys []uint64, cfg core.Config, opt Options) (*Store, error)
 	}
 	reg := obs.NewRegistry()
 	eng, err := storage.Open(opt.Dir, storage.Options{
-		Config:        cfg,
-		BloomFPR:      opt.BloomFPR,
-		CompactFanout: opt.CompactFanout,
-		Reg:           reg,
+		Config:           cfg,
+		BloomFPR:         opt.BloomFPR,
+		CompactFanout:    opt.CompactFanout,
+		Reg:              reg,
+		FS:               opt.FS,
+		ScrubInterval:    opt.ScrubInterval,
+		BackpressureDebt: opt.BackpressureDebt,
 	})
 	if err != nil {
 		return nil, err
@@ -937,6 +955,30 @@ func (s *Store) StorageStats() (storage.Stats, bool) {
 		return storage.Stats{}, false
 	}
 	return s.eng.Stats(), true
+}
+
+// Health reports the persistent engine's failure state and the error that
+// caused it: storage.HealthOK (nil error) on full service, HealthDegraded
+// when the segment plane failed and the store went read-only, and
+// HealthFailed when the commit plane failed and the engine is fail-stop
+// (see the storage package's failure model). A purely in-memory Store is
+// always HealthOK. Reads keep serving in every state.
+func (s *Store) Health() (storage.Health, error) {
+	if s.eng == nil {
+		return storage.HealthOK, nil
+	}
+	return s.eng.Health()
+}
+
+// Scrub re-verifies every live segment file's checksum on a persistent
+// Store, rewriting any corrupt file from the in-memory image, and reports
+// how many segments were checked and healed. A no-op (0, 0, nil) on an
+// in-memory Store. See Options.ScrubInterval for the background version.
+func (s *Store) Scrub() (checked, healed int, err error) {
+	if s.eng == nil {
+		return 0, 0, nil
+	}
+	return s.eng.Scrub()
 }
 
 // Metrics returns a point-in-time snapshot of every metric the Store —

@@ -87,11 +87,14 @@ func openPersistentStr(keys []string, cfg core.Config, opt Options) (*Store, err
 	}
 	reg := obs.NewRegistry()
 	eng, err := storage.Open(opt.Dir, storage.Options{
-		Config:        cfg,
-		BloomFPR:      opt.BloomFPR,
-		CompactFanout: opt.CompactFanout,
-		StringKeys:    true,
-		Reg:           reg,
+		Config:           cfg,
+		BloomFPR:         opt.BloomFPR,
+		CompactFanout:    opt.CompactFanout,
+		StringKeys:       true,
+		Reg:              reg,
+		FS:               opt.FS,
+		ScrubInterval:    opt.ScrubInterval,
+		BackpressureDebt: opt.BackpressureDebt,
 	})
 	if err != nil {
 		return nil, err

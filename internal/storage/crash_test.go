@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"learnedindex/internal/vfs"
 )
 
 // TestCrashRecoveryRandomTruncation is the randomized durability oracle,
@@ -143,7 +146,7 @@ func TestCrashRecoveryRandomTruncation(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			_, crashWALs, _, err := scanWALFiles(crashDir, false)
+			_, crashWALs, _, err := scanWALFiles(vfs.OS, crashDir, false)
 			if err != nil || len(crashWALs) != 1 {
 				t.Fatalf("crash dir WALs: %v (err %v)", crashWALs, err)
 			}
@@ -202,6 +205,188 @@ func TestCrashRecoveryRandomTruncation(t *testing.T) {
 				k := 3_000_000_000 + uint64(rng.Int63n(1_000_000_000))
 				if re.Contains(k) {
 					t.Fatalf("phantom key %d", k)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryRandomTruncationStrings is the string-mode twin of the
+// oracle above: the same drive/truncate/reopen protocol over wals-*.log
+// files and version-2 segments. Key identity, record framing, and the
+// fsync ack line all run through the codec path, so the oracle holds the
+// string engine to the identical durability contract: acked keys never
+// lost, torn records never surface, Len exact.
+func TestCrashRecoveryRandomTruncationStrings(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(4000 + int64(trial)))
+			dir := t.TempDir()
+			e, err := Open(dir, Options{NoCompactor: true, CompactFanout: 3, StringKeys: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := func(n int64) string { return fmt.Sprintf("k%010d", n) }
+
+			flushed := map[string]bool{}
+			synced := map[string]bool{}
+			var syncedOff int64
+			type rec struct {
+				end  int64
+				keys []string
+			}
+			var walRecords []rec
+
+			steps := 25 + rng.Intn(30)
+			var inserted []string
+			for i := 0; i < steps; i++ {
+				n := 1 + rng.Intn(40)
+				batch := make([]string, 0, n)
+				for j := 0; j < n; j++ {
+					switch rng.Intn(4) {
+					case 0:
+						if len(inserted) > 0 {
+							batch = append(batch, inserted[rng.Intn(len(inserted))])
+							continue
+						}
+						fallthrough
+					default:
+						batch = append(batch, key(rng.Int63n(1_000_000_000)))
+					}
+				}
+				inserted = append(inserted, batch...)
+				if err := e.AppendString(batch...); err != nil {
+					t.Fatal(err)
+				}
+				walRecords = append(walRecords, rec{end: e.wal.size, keys: batch})
+
+				switch rng.Intn(5) {
+				case 0, 1:
+					if err := e.Sync(); err != nil {
+						t.Fatal(err)
+					}
+					syncedOff = e.wal.size
+					for _, r := range walRecords {
+						for _, k := range r.keys {
+							synced[k] = true
+						}
+					}
+				case 2:
+					if err := e.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(3) == 0 {
+						if err := e.Compact(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for _, r := range walRecords {
+						for _, k := range r.keys {
+							flushed[k] = true
+							synced[k] = true
+						}
+					}
+					walRecords = walRecords[:0]
+					syncedOff = 0
+				}
+			}
+			if err := e.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			syncedOff = e.wal.size
+			for _, r := range walRecords {
+				for _, k := range r.keys {
+					synced[k] = true
+				}
+			}
+			// Unsynced tail from a disjoint key domain, eligible to tear.
+			tail := make([]string, 3+rng.Intn(15))
+			for j := range tail {
+				tail[j] = key(2_000_000_000 + rng.Int63n(1_000_000))
+			}
+			if err := e.AppendString(tail...); err != nil {
+				t.Fatal(err)
+			}
+			walRecords = append(walRecords, rec{end: e.wal.size, keys: tail})
+			if err := e.wal.w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			walSize := e.wal.size
+
+			crashDir := t.TempDir()
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range ents {
+				data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, isWAL := parseWALStrFileName(ent.Name()); isWAL {
+					trunc := syncedOff + rng.Int63n(walSize-syncedOff+1)
+					data = data[:trunc]
+				}
+				if err := os.WriteFile(filepath.Join(crashDir, ent.Name()), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, crashWALs, _, err := scanWALFiles(vfs.OS, crashDir, true)
+			if err != nil || len(crashWALs) != 1 {
+				t.Fatalf("crash dir WALs: %v (err %v)", crashWALs, err)
+			}
+			crashWAL, err := os.ReadFile(crashWALs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			trunc := int64(len(crashWAL))
+			if trunc < syncedOff {
+				t.Fatalf("truncation %d cut below the fsync ack %d", trunc, syncedOff)
+			}
+			e.Close()
+
+			expected := map[string]bool{}
+			for k := range flushed {
+				expected[k] = true
+			}
+			for _, r := range walRecords {
+				if r.end <= trunc {
+					for _, k := range r.keys {
+						expected[k] = true
+					}
+				}
+			}
+
+			re, err := Open(crashDir, Options{NoCompactor: true, StringKeys: true})
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer re.Close()
+
+			for k := range synced {
+				if !re.ContainsString(k) {
+					t.Fatalf("acked key %q lost after crash recovery", k)
+				}
+			}
+			if re.Len() != len(expected) {
+				t.Fatalf("Len=%d after recovery, oracle %d", re.Len(), len(expected))
+			}
+			for _, k := range re.KeysStrings() {
+				if !expected[k] {
+					t.Fatalf("recovery invented key %q", k)
+				}
+			}
+			for k := range expected {
+				if !re.ContainsString(k) {
+					t.Fatalf("recoverable key %q not served", k)
+				}
+			}
+			for i := 0; i < 300; i++ {
+				k := key(3_000_000_000 + rng.Int63n(1_000_000_000))
+				if re.ContainsString(k) {
+					t.Fatalf("phantom key %q", k)
 				}
 			}
 		})

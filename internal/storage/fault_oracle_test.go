@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"learnedindex/internal/vfs"
+)
+
+// oracleSchedule is the fault mix every oracle trial runs under: every
+// injectable class is live at a low rate so trials exercise fsync loss,
+// ENOSPC, torn writes, failed renames/removes/opens, and read errors in
+// one schedule. ReadCorrupt stays zero on purpose — silently rotting the
+// only durable copy of an acked key is genuine data loss, not a
+// recoverable fault; the checksum/quarantine plane owns that class (see
+// degraded_test.go).
+func oracleSchedule(seed int64) vfs.FaultConfig {
+	return vfs.FaultConfig{
+		Seed:        seed,
+		SyncErr:     0.02,
+		SyncDirErr:  0.02,
+		WriteENOSPC: 0.01,
+		TornWrite:   0.02,
+		RenameErr:   0.02,
+		RemoveErr:   0.03,
+		OpenErr:     0.01,
+		ReadErr:     0.01,
+	}
+}
+
+// TestFaultScheduleOracle is the randomized fault-schedule oracle: drive
+// append/commit/sync/flush/compact against an engine whose every file
+// operation runs through a seeded vfs.FaultFS, tracking which keys the
+// engine durably ACKED (Commit returned nil, or Sync/Flush covered an
+// earlier Append). Any error the engine surfaces must be scheduled
+// (vfs.ErrInjected) or a lawful consequence of one (ErrPoisoned,
+// ErrDegraded) — never an unscheduled failure, never a panic. After a
+// clean reopen the engine must serve every acked key, serve nothing it
+// was never given, and report an exact Len. Both key modes run the same
+// oracle over ≥50 seeds each.
+func TestFaultScheduleOracle(t *testing.T) {
+	const seeds = 50
+	for _, mode := range []struct {
+		name string
+		str  bool
+	}{{"uint64", false}, {"string", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for s := 0; s < seeds; s++ {
+				seed := int64(7000 + s)
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					t.Parallel()
+					runFaultOracleTrial(t, seed, mode.str)
+				})
+			}
+		})
+	}
+}
+
+func runFaultOracleTrial(t *testing.T, seed int64, strMode bool) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, oracleSchedule(seed))
+	ffs.Disarm() // clean open: the schedule starts with the first write below
+	// NoCompactor keeps the trial single-goroutine, so the seeded fault
+	// stream maps onto operations deterministically (Compact runs inline).
+	e, err := Open(dir, Options{NoCompactor: true, CompactFanout: 3, StringKeys: strMode, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm()
+
+	// str is an order-irrelevant injective uint64→string encoding so one
+	// oracle body covers both key modes.
+	str := func(k uint64) string { return fmt.Sprintf("k%016x", k) }
+	doAppend := func(b []uint64) error {
+		if !strMode {
+			return e.AppendBatch(b)
+		}
+		s := make([]string, len(b))
+		for i, k := range b {
+			s[i] = str(k)
+		}
+		return e.AppendStringBatch(s)
+	}
+	doCommit := func(b []uint64) error {
+		if !strMode {
+			return e.CommitBatch(b)
+		}
+		s := make([]string, len(b))
+		for i, k := range b {
+			s[i] = str(k)
+		}
+		return e.CommitStringBatch(s)
+	}
+	contains := func(eng *Engine, k uint64) bool {
+		if strMode {
+			return eng.ContainsString(str(k))
+		}
+		return eng.Contains(k)
+	}
+
+	// An error is lawful iff it was scheduled by the FaultFS or is the
+	// engine's sticky consequence of an earlier scheduled fault.
+	scheduled := func(err error) bool {
+		return errors.Is(err, vfs.ErrInjected) ||
+			errors.Is(err, ErrPoisoned) || errors.Is(err, ErrDegraded)
+	}
+	requireScheduled := func(op string, err error) {
+		t.Helper()
+		if !scheduled(err) {
+			t.Fatalf("%s: unscheduled error %v", op, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	acked := map[uint64]bool{}     // durably acknowledged — must survive
+	attempted := map[uint64]bool{} // every key ever handed to the engine
+	var unsynced []uint64          // appended, not yet covered by an ack
+
+	batch := func() []uint64 {
+		n := 1 + rng.Intn(40)
+		b := make([]uint64, n)
+		for i := range b {
+			b[i] = uint64(rng.Int63n(1_000_000_000))
+			attempted[b[i]] = true
+		}
+		return b
+	}
+	ack := func(keys []uint64) {
+		for _, k := range keys {
+			acked[k] = true
+		}
+	}
+
+	steps := 30 + rng.Intn(30)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // Append: not durable until a Sync/Flush ack
+			b := batch()
+			if err := doAppend(b); err != nil {
+				requireScheduled("append", err)
+			} else {
+				unsynced = append(unsynced, b...)
+			}
+		case 4, 5, 6: // Commit: durable on nil return
+			b := batch()
+			if err := doCommit(b); err != nil {
+				requireScheduled("commit", err)
+			} else {
+				ack(b)
+			}
+		case 7: // Sync: acks everything appended so far
+			if err := e.Sync(); err != nil {
+				requireScheduled("sync", err)
+			} else {
+				ack(unsynced)
+				unsynced = unsynced[:0]
+			}
+		case 8: // Flush: segment durability for the whole pending set
+			if err := e.Flush(); err != nil {
+				requireScheduled("flush", err)
+			} else {
+				ack(unsynced)
+				unsynced = unsynced[:0]
+			}
+		case 9:
+			if err := e.Compact(); err != nil {
+				requireScheduled("compact", err)
+			}
+		}
+	}
+
+	// Close may fail mid-flush under the schedule; only unscheduled
+	// failures are bugs. A successful close flushes the pending set, which
+	// may durably land appended-but-unacked keys — allowed (they are in
+	// attempted, just never required).
+	if err := e.Close(); err != nil {
+		requireScheduled("close", err)
+	}
+
+	// Clean reopen on the real filesystem: recovery must reconstruct a
+	// state serving acked ⊆ served ⊆ attempted with an exact Len.
+	ffs.Disarm()
+	re, err := Open(dir, Options{NoCompactor: true, StringKeys: strMode})
+	if err != nil {
+		t.Fatalf("reopen after fault schedule failed: %v", err)
+	}
+	defer re.Close()
+	if h, herr := re.Health(); h != HealthOK || herr != nil {
+		t.Fatalf("reopened engine health = %v (%v), want ok", h, herr)
+	}
+	for k := range acked {
+		if !contains(re, k) {
+			t.Fatalf("acked key %d lost across the fault schedule", k)
+		}
+	}
+	var served int
+	if strMode {
+		for _, s := range re.KeysStrings() {
+			var k uint64
+			if n, err := fmt.Sscanf(s, "k%016x", &k); n != 1 || err != nil || !attempted[k] {
+				t.Fatalf("reopen serves invented key %q", s)
+			}
+			served++
+		}
+	} else {
+		for _, k := range re.Keys() {
+			if !attempted[k] {
+				t.Fatalf("reopen serves invented key %d", k)
+			}
+			served++
+		}
+	}
+	if re.Len() != served {
+		t.Fatalf("Len=%d but %d keys enumerated", re.Len(), served)
+	}
+	// Probes from a disjoint domain must miss.
+	for i := 0; i < 200; i++ {
+		k := 2_000_000_000 + uint64(rng.Int63n(1_000_000_000))
+		if contains(re, k) {
+			t.Fatalf("phantom key %d after recovery", k)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"learnedindex/internal/bloom"
 	"learnedindex/internal/core"
 	"learnedindex/internal/data"
+	"learnedindex/internal/vfs"
 )
 
 // FuzzSegmentDecode asserts the segment decoder never panics on arbitrary
@@ -133,7 +134,7 @@ func FuzzWALReplay(f *testing.F) {
 	f.Fuzz(func(t *testing.T, tail []byte, nrec uint8) {
 		// Build a known-good prefix of nrec records via the real writer.
 		dir := t.TempDir()
-		w, err := newWAL(dir + "/" + walFileName(0))
+		w, err := newWAL(vfs.OS, dir+"/"+walFileName(0))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,8 @@ import (
 	"learnedindex/internal/bloom"
 	"learnedindex/internal/core"
 	"learnedindex/internal/keycodec"
+	"learnedindex/internal/obs"
+	"learnedindex/internal/vfs"
 )
 
 // Segment files are the immutable sorted runs of the engine. Layout:
@@ -235,7 +237,7 @@ func decodeSegment(data []byte) (keys []uint64, rmi *core.RMI, filter *bloom.Fil
 // writeSegment trains an RMI and Bloom filter over keys (sorted, unique,
 // non-empty), encodes the segment, and commits it to dir crash-safely:
 // temp file, fsync, rename to the canonical name, fsync the directory.
-func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Config, fpr float64) (*segment, error) {
+func writeSegment(fs vfs.FS, ioc *obs.Counter, dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Config, fpr float64) (*segment, error) {
 	rmi := core.New(keys, cfg)
 	// Register-blocked filter: a miss probe walking the segment list costs
 	// one cache line per segment instead of k scattered touches. Old
@@ -253,15 +255,7 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 		return nil, err // unreachable for our own encoding; defensive
 	}
 	final := filepath.Join(dir, segmentFileName(seqLo, seqHi))
-	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, img); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return nil, err
-	}
-	if err := syncDir(dir); err != nil {
+	if err := commitSegmentFile(fs, ioc, dir, final, img); err != nil {
 		return nil, err
 	}
 	return &segment{
@@ -271,11 +265,28 @@ func writeSegment(dir string, seqLo, seqHi uint64, keys []uint64, cfg core.Confi
 	}, nil
 }
 
+// commitSegmentFile writes img to final crash-safely: temp file, fsync,
+// rename, directory fsync. A failed rename's temp cleanup is best-effort
+// (counted in ioc; a leftover temp is swept at the next open).
+func commitSegmentFile(fs vfs.FS, ioc *obs.Counter, dir, final string, img []byte) error {
+	tmp := final + ".tmp"
+	if err := writeFileSync(fs, ioc, tmp, img); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		if rerr := fs.Remove(tmp); rerr != nil && ioc != nil {
+			ioc.Inc()
+		}
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
 // openSegmentFile reads and decodes one committed segment, dispatching on
 // the version magic: v1 files decode under the original uint64 rules
 // unchanged, v2 files under the codec rules.
-func openSegmentFile(path string, seqLo, seqHi uint64) (*segment, error) {
-	data, err := os.ReadFile(path)
+func openSegmentFile(fs vfs.FS, path string, seqLo, seqHi uint64) (*segment, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +395,7 @@ func decodeStringSegment(data []byte) (si *core.StringIndex, filter *bloom.Filte
 // write path assembles the index the same way decode does (no StringRMI
 // tie-break training) so a segment reads identically before and after a
 // restart.
-func writeStringSegment(dir string, seqLo, seqHi uint64, keys []string, cfg core.Config, fpr float64) (*segment, error) {
+func writeStringSegment(fs vfs.FS, ioc *obs.Counter, dir string, seqLo, seqHi uint64, keys []string, cfg core.Config, fpr float64) (*segment, error) {
 	prefixes, dict := keycodec.BuildDict(keys)
 	rmi := core.New(prefixes, cfg)
 	si := core.AssembleStringIndex(rmi, dict)
@@ -397,15 +408,7 @@ func writeStringSegment(dir string, seqLo, seqHi uint64, keys []string, cfg core
 		return nil, err
 	}
 	final := filepath.Join(dir, segmentFileName(seqLo, seqHi))
-	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, img); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return nil, err
-	}
-	if err := syncDir(dir); err != nil {
+	if err := commitSegmentFile(fs, ioc, dir, final, img); err != nil {
 		return nil, err
 	}
 	return &segment{
@@ -415,33 +418,26 @@ func writeStringSegment(dir string, seqLo, seqHi uint64, keys []string, cfg core
 	}, nil
 }
 
-// writeFileSync writes data to path and fsyncs before closing.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// writeFileSync writes data to path and fsyncs before closing. A close
+// failure after a failed write or sync is counted in ioc (the primary
+// error propagates; the descriptor leak does not, but must not stay
+// invisible).
+func writeFileSync(fs vfs.FS, ioc *obs.Counter, path string, data []byte) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		if cerr := f.Close(); cerr != nil && ioc != nil {
+			ioc.Inc()
+		}
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		if cerr := f.Close(); cerr != nil && ioc != nil {
+			ioc.Inc()
+		}
 		return err
 	}
 	return f.Close()
-}
-
-// syncDir fsyncs a directory so a just-renamed file's entry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return err
-	}
-	return cerr
 }

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"os"
 	"slices"
 	"sort"
 	"sync"
@@ -124,7 +123,9 @@ func (sn *Snapshot) Release() {
 	}
 	e.segMu.Unlock()
 	for _, p := range sweep {
-		os.Remove(p)
+		// Best-effort: a zombie file that survives its unlink is GC'd by
+		// containment at the next open.
+		e.countIOErr("remove zombie segment", e.fs.Remove(p))
 	}
 	sn.segs = sn.segs[:0]
 	// Drop delta string refs before pooling so a recycled snapshot never

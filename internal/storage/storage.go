@@ -39,8 +39,8 @@ package storage
 
 import (
 	"fmt"
+	"log"
 	"math/bits"
-	"os"
 	"path/filepath"
 	"runtime"
 	"slices"
@@ -53,6 +53,7 @@ import (
 	"learnedindex/internal/core"
 	"learnedindex/internal/obs"
 	"learnedindex/internal/slicepool"
+	"learnedindex/internal/vfs"
 )
 
 // Options configures an Engine.
@@ -82,6 +83,21 @@ type Options struct {
 	// snapshot-time collector for segment-level series all live there. Nil
 	// means the engine owns a private registry, reachable via Registry().
 	Reg *obs.Registry
+	// FS is the filesystem the engine performs every file operation on
+	// (internal/vfs). Nil means the real OS; fault-injection tests swap in
+	// a vfs.FaultFS to drive the failure model deterministically.
+	FS vfs.FS
+	// ScrubInterval > 0 starts a background scrubber that re-verifies
+	// every live segment file's checksum on this period and rewrites any
+	// file that rotted on disk from the in-memory image (see scrub.go).
+	// Zero disables the goroutine; Scrub can still be called explicitly.
+	ScrubInterval time.Duration
+	// BackpressureDebt is the compaction-debt threshold (segments sitting
+	// in merge-eligible runs, see compactionDebt) at which Append/Commit
+	// callers briefly stall to let the compactor catch up. 0 means the
+	// default (16x CompactFanout); negative disables backpressure.
+	// Ignored under NoCompactor — nobody would relieve the pressure.
+	BackpressureDebt int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +111,9 @@ func (o Options) withDefaults() Options {
 	// a mutable backing array with the caller.
 	if len(o.Config.StageSizes) > 0 {
 		o.Config.StageSizes = slices.Clone(o.Config.StageSizes)
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS
 	}
 	return o
 }
@@ -144,7 +163,13 @@ type Engine struct {
 	// exactly one pair is ever populated, per Options.StringKeys.
 	pendingS  []string
 	flushingS []string
-	err       error
+	// err is the fail-stop poison latch: a commit-plane failure sets it
+	// (wrapped in ErrPoisoned) and every later durable operation returns
+	// it. degradedCause is the read-only latch of the segment plane
+	// (wrapped in ErrDegraded): writes refuse, reads keep serving.
+	// healthWord mirrors the two for lock-free observation (see health.go).
+	err           error
+	degradedCause error
 
 	// Group-commit state, guarded by mu. appendSeq counts accepted write
 	// calls (Append, AppendBatch, Commit enqueue); durableSeq is the
@@ -178,6 +203,11 @@ type Engine struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 
+	fs         vfs.FS
+	healthWord atomic.Int32 // Health, mirrored from err/degradedCause
+	quarCount  atomic.Int64 // *.quarantine files currently in dir
+	bpDebt     int          // backpressure threshold (0 = disabled)
+
 	reg *obs.Registry
 	m   engineMetrics
 }
@@ -195,6 +225,13 @@ type engineMetrics struct {
 	commits       *obs.Counter // Commit calls acknowledged (group-committed)
 	zombies       *obs.Gauge   // compacted-away segments awaiting last unpin
 
+	ioErrors          *obs.Counter // best-effort I/O failures, see countIOErr
+	ioRetries         *obs.Counter // segment-plane writes retried after a transient error
+	backpressureWaits *obs.Counter // writer naps taken under compaction-debt backpressure
+	quarantined       *obs.Counter // segments renamed *.quarantine at open
+	scrubPasses       *obs.Counter // completed Scrub sweeps
+	scrubHeals        *obs.Counter // corrupt segment files rewritten from memory
+
 	fsyncNs       *obs.Histogram // latency of each commit-plane fsync
 	cohortCommits *obs.Histogram // Commit batches covered per cohort drain
 	flushNs       *obs.Histogram // freeze→train→publish, whole flush
@@ -210,6 +247,14 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		walSyncs:      reg.Counter("lix_storage_wal_syncs_total"),
 		commits:       reg.Counter("lix_storage_commits_total"),
 		zombies:       reg.Gauge("lix_storage_zombie_segments"),
+
+		ioErrors:          reg.Counter("lix_storage_io_errors_total"),
+		ioRetries:         reg.Counter("lix_storage_io_retries_total"),
+		backpressureWaits: reg.Counter("lix_storage_backpressure_waits_total"),
+		quarantined:       reg.Counter("lix_segments_quarantined_total"),
+		scrubPasses:       reg.Counter("lix_storage_scrub_passes_total"),
+		scrubHeals:        reg.Counter("lix_storage_scrub_heals_total"),
+
 		fsyncNs:       reg.Histogram("lix_wal_fsync_ns"),
 		cohortCommits: reg.Histogram("lix_wal_cohort_commits"),
 		flushNs:       reg.Histogram("lix_storage_flush_ns"),
@@ -224,14 +269,21 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 // every model and trains none.
 func Open(dir string, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	e := &Engine{
 		dir:       dir,
 		opts:      opts,
+		fs:        opts.FS,
 		compactCh: make(chan struct{}, 1),
 		quit:      make(chan struct{}),
+	}
+	switch {
+	case opts.BackpressureDebt > 0:
+		e.bpDebt = opts.BackpressureDebt
+	case opts.BackpressureDebt == 0:
+		e.bpDebt = 16 * opts.CompactFanout
 	}
 	e.reg = opts.Reg
 	if e.reg == nil {
@@ -240,7 +292,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	e.m = newEngineMetrics(e.reg)
 	e.reg.RegisterCollector(e.collect)
 	e.syncCond = sync.NewCond(&e.mu)
-	segs, nextSeq, err := loadSegments(dir)
+	segs, nextSeq, err := e.loadSegments()
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +314,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	// segments and retire the replayed files. Ordering is crash-safe: the
 	// segment is committed before any log is deleted, and re-replaying an
 	// already-materialized log just deduplicates.
-	walSeqs, walPaths, otherKind, err := scanWALFiles(dir, opts.StringKeys)
+	walSeqs, walPaths, otherKind, err := scanWALFiles(e.fs, dir, opts.StringKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +325,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if opts.StringKeys {
 		var recovered []string
 		for _, p := range walPaths {
-			data, err := os.ReadFile(p)
+			data, err := e.fs.ReadFile(p)
 			if err != nil {
 				return nil, err
 			}
@@ -288,7 +340,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	} else {
 		var recovered []uint64
 		for _, p := range walPaths {
-			data, err := os.ReadFile(p)
+			data, err := e.fs.ReadFile(p)
 			if err != nil {
 				return nil, err
 			}
@@ -302,16 +354,22 @@ func Open(dir string, opts Options) (*Engine, error) {
 		}
 	}
 	for _, p := range walPaths {
-		os.Remove(p)
+		// Best-effort: a log that survives its own retirement is replayed
+		// again at the next open and deduplicated away.
+		e.countIOErr("remove replayed WAL", e.fs.Remove(p))
 	}
 	if len(walSeqs) > 0 {
 		e.walSeq = walSeqs[len(walSeqs)-1] + 1
 	}
-	w, err := newWAL(filepath.Join(dir, e.walName(e.walSeq)))
+	w, err := newWAL(e.fs, filepath.Join(dir, e.walName(e.walSeq)))
 	if err != nil {
 		return nil, err
 	}
 	e.wal = w
+	if opts.ScrubInterval > 0 {
+		e.wg.Add(1)
+		go e.scrubber(opts.ScrubInterval)
+	}
 	if !opts.NoCompactor {
 		// Deliberately not kicked here: a cold open must train nothing
 		// (the "deserialized models only" contract above), so any tier
@@ -323,32 +381,24 @@ func Open(dir string, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// loadSegments scans dir for committed segments, removes stale temp files
-// and any segment whose sequence range is strictly contained in another's
-// (a compaction input that outlived its replacement across a crash), and
-// returns the live set sorted by sequence.
-func loadSegments(dir string) ([]*segment, uint64, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, 0, err
-	}
-	type cand struct {
-		lo, hi uint64
-		path   string
-	}
-	var cands []cand
-	for _, ent := range entries {
-		name := ent.Name()
-		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name)) // never renamed => never committed
-			continue
-		}
-		lo, hi, ok := parseSegmentFileName(name)
-		if !ok {
-			continue
-		}
-		cands = append(cands, cand{lo, hi, filepath.Join(dir, name)})
-	}
+// quarantineSuffix marks a segment file that failed its checksum or
+// decode at open: the file is renamed aside (evidence preserved, never
+// re-adopted) and serving continues without it.
+const quarantineSuffix = ".quarantine"
+
+// segCand is one committed segment file found by the open-time scan.
+type segCand struct {
+	lo, hi uint64
+	path   string
+}
+
+// selectMaximalSegments picks the containment-maximal candidates: a range
+// strictly contained in another's is an obsolete compaction input that
+// outlived its replacement across a crash. Contained candidates are NOT
+// deleted here — their container might fail to open and be quarantined,
+// in which case they are the only surviving copy of its keys and get
+// re-selected on the retry pass.
+func selectMaximalSegments(cands []segCand) ([]segCand, error) {
 	// Widest range first within a seqLo, so a contained range always meets
 	// its container before being kept.
 	sort.Slice(cands, func(i, j int) bool {
@@ -357,34 +407,108 @@ func loadSegments(dir string) ([]*segment, uint64, error) {
 		}
 		return cands[i].hi > cands[j].hi
 	})
-	var kept []cand
+	var kept []segCand
 	for _, c := range cands {
 		if n := len(kept); n > 0 {
 			last := kept[n-1]
 			if c.lo >= last.lo && c.hi <= last.hi {
-				os.Remove(c.path) // obsolete compaction input
-				continue
+				continue // obsolete compaction input (pending its container opening)
 			}
 			if c.lo <= last.hi {
-				return nil, 0, fmt.Errorf("storage: segments %s and %s overlap without containment",
+				return nil, fmt.Errorf("storage: segments %s and %s overlap without containment",
 					filepath.Base(last.path), filepath.Base(c.path))
 			}
 		}
 		kept = append(kept, c)
 	}
-	segs := make([]*segment, len(kept))
+	return kept, nil
+}
+
+// loadSegments scans the engine directory for committed segments, removes
+// stale temp files, quarantines any segment that fails its checksum or
+// decode (renamed *.quarantine, skipped, counted), garbage-collects
+// obsolete compaction inputs, and returns the live set sorted by
+// sequence. The sequence horizon advances past quarantined files too, so
+// a quarantined range's filename is never minted again.
+func (e *Engine) loadSegments() ([]*segment, uint64, error) {
+	entries, err := e.fs.ReadDir(e.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var cands []segCand
 	nextSeq := uint64(0)
-	for i, c := range kept {
-		s, err := openSegmentFile(c.path, c.lo, c.hi)
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Never renamed => never committed; best-effort sweep.
+			e.countIOErr("remove stale temp", e.fs.Remove(filepath.Join(e.dir, name)))
+			continue
+		}
+		if strings.HasSuffix(name, quarantineSuffix) {
+			// A previously quarantined file: never re-adopted, but its range
+			// still fences the sequence space.
+			if _, hi, ok := parseSegmentFileName(strings.TrimSuffix(name, quarantineSuffix)); ok && hi+1 > nextSeq {
+				nextSeq = hi + 1
+			}
+			e.quarCount.Add(1)
+			continue
+		}
+		lo, hi, ok := parseSegmentFileName(name)
+		if !ok {
+			continue
+		}
+		cands = append(cands, segCand{lo, hi, filepath.Join(e.dir, name)})
+	}
+	for {
+		kept, err := selectMaximalSegments(cands)
 		if err != nil {
 			return nil, 0, err
 		}
-		segs[i] = s
+		segs := make([]*segment, len(kept))
+		bad := -1
+		var badErr error
+		for i, c := range kept {
+			s, err := openSegmentFile(e.fs, c.path, c.lo, c.hi)
+			if err != nil {
+				bad, badErr = i, err
+				break
+			}
+			segs[i] = s
+		}
+		if bad < 0 {
+			// Every container opened: the contained candidates are now
+			// provably redundant and can go.
+			liveSet := make(map[string]bool, len(kept))
+			for _, c := range kept {
+				liveSet[c.path] = true
+				if c.hi+1 > nextSeq {
+					nextSeq = c.hi + 1
+				}
+			}
+			for _, c := range cands {
+				if !liveSet[c.path] {
+					e.countIOErr("remove obsolete compaction input", e.fs.Remove(c.path))
+				}
+			}
+			return segs, nextSeq, nil
+		}
+		// Quarantine the corrupt file and retry selection without it: any
+		// inputs it contained are still on disk (deletion above is deferred
+		// until every container opens) and take over serving its keys. If
+		// the quarantine rename itself fails, opening cannot make progress
+		// — surface the corruption.
+		c := kept[bad]
+		if rerr := e.fs.Rename(c.path, c.path+quarantineSuffix); rerr != nil {
+			return nil, 0, fmt.Errorf("storage: quarantining %s: %w (corrupt: %w)", filepath.Base(c.path), rerr, badErr)
+		}
+		log.Printf("storage: quarantined corrupt segment %s: %v", c.path, badErr)
+		e.m.quarantined.Inc()
+		e.quarCount.Add(1)
 		if c.hi+1 > nextSeq {
 			nextSeq = c.hi + 1
 		}
+		cands = slices.DeleteFunc(cands, func(x segCand) bool { return x.path == c.path })
 	}
-	return segs, nextSeq, nil
 }
 
 // maxAppendChunk bounds the keys per WAL record (~5 MB at worst-case
@@ -411,10 +535,11 @@ func (e *Engine) AppendBatch(keys []uint64) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	e.maybeBackpressure()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.err != nil {
-		return e.err
+	if err := e.writeGateLocked(); err != nil {
+		return err
 	}
 	if e.closed.Load() {
 		return fmt.Errorf("storage: engine closed")
@@ -422,8 +547,7 @@ func (e *Engine) AppendBatch(keys []uint64) error {
 	for len(keys) > 0 {
 		chunk := keys[:min(len(keys), maxAppendChunk)]
 		if err := e.wal.append(chunk); err != nil {
-			e.err = err
-			return err
+			return e.poisonLocked(err)
 		}
 		e.pending = append(e.pending, chunk...)
 		keys = keys[len(chunk):]
@@ -468,10 +592,11 @@ func (e *Engine) AppendStringBatch(keys []string) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	e.maybeBackpressure()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.err != nil {
-		return e.err
+	if err := e.writeGateLocked(); err != nil {
+		return err
 	}
 	if e.closed.Load() {
 		return fmt.Errorf("storage: engine closed")
@@ -479,8 +604,7 @@ func (e *Engine) AppendStringBatch(keys []string) error {
 	for lo := 0; lo < len(keys); {
 		hi, _ := stringChunkEnd(keys, lo)
 		if err := e.wal.appendStrings(keys[lo:hi]); err != nil {
-			e.err = err
-			return err
+			return e.poisonLocked(err)
 		}
 		e.pendingS = append(e.pendingS, keys[lo:hi]...)
 		lo = hi
@@ -502,13 +626,14 @@ func (e *Engine) CommitStringBatch(keys []string) error {
 	if !e.opts.StringKeys {
 		panic("storage: string commit on a uint64-keyed engine")
 	}
+	e.maybeBackpressure()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(keys) == 0 {
 		return e.waitDurable(e.appendSeq)
 	}
-	if e.err != nil {
-		return e.err
+	if err := e.writeGateLocked(); err != nil {
+		return err
 	}
 	if e.closed.Load() {
 		return fmt.Errorf("storage: engine closed")
@@ -528,14 +653,15 @@ func (e *Engine) CommitBatch(keys []uint64) error {
 	if e.opts.StringKeys {
 		panic("storage: uint64 commit on a string-keyed engine")
 	}
+	e.maybeBackpressure()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(keys) == 0 {
 		// Nothing to add; still honor the durability barrier semantics.
 		return e.waitDurable(e.appendSeq)
 	}
-	if e.err != nil {
-		return e.err
+	if err := e.writeGateLocked(); err != nil {
+		return err
 	}
 	if e.closed.Load() {
 		return fmt.Errorf("storage: engine closed")
@@ -577,7 +703,7 @@ func (e *Engine) drainCohortLocked() {
 			return
 		}
 		if err := e.wal.appendBatches(e.cohort[start:end]); err != nil {
-			e.err = err
+			e.poisonLocked(err)
 		}
 		start, count = end, 0
 	}
@@ -588,7 +714,7 @@ func (e *Engine) drainCohortLocked() {
 			for lo := 0; lo < len(b) && e.err == nil; lo += maxAppendChunk {
 				hi := min(lo+maxAppendChunk, len(b))
 				if err := e.wal.append(b[lo:hi]); err != nil {
-					e.err = err
+					e.poisonLocked(err)
 				}
 			}
 			start = i + 1
@@ -621,7 +747,7 @@ func (e *Engine) drainCohortStrLocked() {
 			return
 		}
 		if err := e.wal.appendStringBatches(e.cohortS[start:end]); err != nil {
-			e.err = err
+			e.poisonLocked(err)
 		}
 		start, bytes = end, 0
 	}
@@ -633,7 +759,7 @@ func (e *Engine) drainCohortStrLocked() {
 			for lo := 0; lo < len(b) && e.err == nil; {
 				hi, _ := stringChunkEnd(b, lo)
 				if err := e.wal.appendStrings(b[lo:hi]); err != nil {
-					e.err = err
+					e.poisonLocked(err)
 				}
 				lo = hi
 			}
@@ -730,7 +856,7 @@ func (e *Engine) waitDurable(target uint64) error {
 		e.drainCohortLocked()
 		if e.err == nil {
 			if err := e.wal.w.Flush(); err != nil {
-				e.err = err
+				e.poisonLocked(err)
 			}
 		}
 		if e.err != nil {
@@ -746,8 +872,10 @@ func (e *Engine) waitDurable(target uint64) error {
 		e.m.fsyncNs.ObserveDuration(time.Since(fsyncStart))
 		e.mu.Lock()
 		e.m.walSyncs.Inc()
-		if serr != nil && e.err == nil {
-			e.err = serr
+		if serr != nil {
+			// Fail-stop: a failed commit-plane fsync leaves the OS cache in
+			// an unknowable state, so no later fsync may be trusted to ack.
+			e.poisonLocked(serr)
 		}
 		if serr == nil && covered > e.durableSeq {
 			e.durableSeq = covered
@@ -771,9 +899,9 @@ func (e *Engine) Flush() error {
 	defer e.flushMu.Unlock()
 
 	e.mu.Lock()
-	if e.err != nil {
+	if err := e.writeGateLocked(); err != nil {
 		e.mu.Unlock()
-		return e.err
+		return err
 	}
 	if len(e.pending) == 0 && len(e.pendingS) == 0 {
 		e.mu.Unlock()
@@ -808,7 +936,7 @@ func (e *Engine) Flush() error {
 	// any still-buffered frozen bytes have to hit disk here.
 	fsyncStart := time.Now()
 	if err := frozen.sync(); err != nil {
-		e.err = err
+		err = e.poisonLocked(err)
 		e.mu.Unlock()
 		return err
 	}
@@ -820,9 +948,9 @@ func (e *Engine) Flush() error {
 		e.durableSeq = e.appendSeq
 	}
 	e.syncCond.Broadcast()
-	nw, err := newWAL(filepath.Join(e.dir, e.walName(e.walSeq+1)))
+	nw, err := newWAL(e.fs, filepath.Join(e.dir, e.walName(e.walSeq+1)))
 	if err != nil {
-		e.err = err
+		err = e.poisonLocked(err)
 		e.mu.Unlock()
 		return err
 	}
@@ -839,21 +967,21 @@ func (e *Engine) Flush() error {
 	}
 	if merr != nil {
 		// Keep the frozen log file on disk — it is the only durable home
-		// of the snapshot now — but release its descriptor; the engine is
-		// failed (sticky error) and recovery replays the file at the next
-		// Open. e.flushing/e.flushingS stays set (and the snapshot stays
-		// out of the pool): the acked keys remain visible to scans on the
-		// failed engine.
-		frozen.close()
-		e.mu.Lock()
-		if e.err == nil {
-			e.err = merr
-		}
-		e.mu.Unlock()
+		// of the snapshot now — but release its descriptor. A failed
+		// materialize (after its retries) is a segment-plane failure: the
+		// engine degrades to read-only rather than poisons, because every
+		// acked key is still safe in the frozen log and recovery replays it
+		// at the next Open. e.flushing/e.flushingS stays set (and the
+		// snapshot stays out of the pool): the acked keys remain visible to
+		// scans on the degraded engine.
+		e.countIOErr("close frozen WAL", frozen.close())
+		e.degrade(merr)
 		return merr
 	}
-	frozen.close()
-	os.Remove(frozen.path)
+	e.countIOErr("close frozen WAL", frozen.close())
+	// Best-effort: a frozen log outliving its segment is re-replayed at
+	// the next open and deduplicated away.
+	e.countIOErr("remove frozen WAL", e.fs.Remove(frozen.path))
 	// The keys are served by the published segment now; only after the
 	// scan-visible flushing reference is dropped may the buffer recycle.
 	e.mu.Lock()
@@ -915,7 +1043,12 @@ func (e *Engine) materialize(keys []uint64, countFlush bool) (bool, error) {
 		return false, nil
 	}
 	seq := e.nextSeq
-	seg, err := writeSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+	var seg *segment
+	err := e.retryIO(func() error {
+		var werr error
+		seg, werr = writeSegment(e.fs, e.m.ioErrors, e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+		return werr
+	})
 	if err != nil {
 		return false, err
 	}
@@ -944,7 +1077,12 @@ func (e *Engine) materializeStrings(keys []string, countFlush bool) (bool, error
 		return false, nil
 	}
 	seq := e.nextSeq
-	seg, err := writeStringSegment(e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+	var seg *segment
+	err := e.retryIO(func() error {
+		var werr error
+		seg, werr = writeStringSegment(e.fs, e.m.ioErrors, e.dir, seq, seq, fresh, e.opts.Config, e.opts.BloomFPR)
+		return werr
+	})
 	if err != nil {
 		return false, err
 	}
@@ -971,8 +1109,8 @@ func (e *Engine) walName(seq uint64) string {
 // scanWALFiles returns the engine-mode WAL files in dir, sorted by
 // sequence, plus a count of logs of the *other* key mode so Open can
 // reject a mode-mismatched directory instead of ignoring durable keys.
-func scanWALFiles(dir string, strMode bool) (seqs []uint64, paths []string, otherKind int, err error) {
-	entries, err := os.ReadDir(dir)
+func scanWALFiles(fs vfs.FS, dir string, strMode bool) (seqs []uint64, paths []string, otherKind int, err error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -1315,6 +1453,11 @@ func (e *Engine) collect(s *obs.Snapshot) {
 	e.mu.Unlock()
 	s.SetGauge("lix_storage_pending_keys", float64(pending))
 	s.SetGauge("lix_storage_wal_bytes", float64(walBytes))
+	// Failure-model plane: 0 ok, 1 degraded (read-only), 2 failed
+	// (fail-stop), plus the count of quarantined segment files in the
+	// directory.
+	s.SetGauge("lix_storage_health", float64(e.healthWord.Load()))
+	s.SetGauge("lix_segments_quarantined", float64(e.quarCount.Load()))
 
 	var allErr, allLen obs.HistSnapshot
 	maxBound := 0
@@ -1434,10 +1577,10 @@ func (e *Engine) compactOnce() (bool, error) {
 	e.compactMu.Lock()
 	defer e.compactMu.Unlock()
 	e.mu.Lock()
-	failed := e.err
+	failed := e.writeGateLocked()
 	e.mu.Unlock()
 	if failed != nil {
-		return false, failed // write plane already latched; don't churn
+		return false, failed // engine already poisoned or degraded; don't churn
 	}
 	e.segMu.Lock()
 	segs := *e.segs.Load()
@@ -1465,20 +1608,21 @@ func (e *Engine) compactOnce() (bool, error) {
 	// the replacement. Readers keep serving the old list meanwhile.
 	compactStart := time.Now()
 	var seg *segment
-	var err error
-	if e.opts.StringKeys {
-		merged := mergeRunsStr(run)
-		seg, err = writeStringSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
-	} else {
-		merged := mergeRuns(run)
-		seg, err = writeSegment(e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
-	}
-	if err != nil {
-		e.mu.Lock()
-		if e.err == nil {
-			e.err = err
+	err := e.retryIO(func() error {
+		var werr error
+		if e.opts.StringKeys {
+			merged := mergeRunsStr(run)
+			seg, werr = writeStringSegment(e.fs, e.m.ioErrors, e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
+		} else {
+			merged := mergeRuns(run)
+			seg, werr = writeSegment(e.fs, e.m.ioErrors, e.dir, run[0].seqLo, run[len(run)-1].seqHi, merged, e.opts.Config, e.opts.BloomFPR)
 		}
-		e.mu.Unlock()
+		return werr
+	})
+	if err != nil {
+		// Segment-plane failure past its retries: the inputs stay live and
+		// every key stays served, but the engine stops taking writes.
+		e.degrade(err)
 		return false, err
 	}
 
@@ -1507,7 +1651,8 @@ func (e *Engine) compactOnce() (bool, error) {
 	e.m.compactions.Inc()
 	e.segMu.Unlock()
 	for _, p := range sweep {
-		os.Remove(p)
+		// Best-effort: a leftover input is GC'd by containment at next open.
+		e.countIOErr("remove compacted input", e.fs.Remove(p))
 	}
 	e.m.compactNs.ObserveDuration(time.Since(compactStart))
 	return true, nil

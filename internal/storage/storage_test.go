@@ -10,6 +10,7 @@ import (
 
 	"learnedindex/internal/core"
 	"learnedindex/internal/data"
+	"learnedindex/internal/vfs"
 )
 
 func openT(t *testing.T, dir string, opts Options) *Engine {
@@ -239,7 +240,7 @@ func TestEngineCrashedCompactionRecovery(t *testing.T) {
 	// leaving the three inputs in place.
 	merged := append([]uint64(nil), keys...)
 	slices.Sort(merged)
-	if _, err := writeSegment(dir, 0, 2, dedupSorted(merged), core.Config{}, 0.01); err != nil {
+	if _, err := writeSegment(vfs.OS, nil, dir, 0, 2, dedupSorted(merged), core.Config{}, 0.01); err != nil {
 		t.Fatal(err)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
@@ -336,7 +337,7 @@ func TestEngineRecoversMultipleWALs(t *testing.T) {
 	// Hand-craft the crash image: a "frozen" log re-logging segment keys
 	// (as if its retire step never ran) plus an "active" log with novel
 	// keys.
-	frozen, err := newWAL(filepath.Join(dir, walFileName(7)))
+	frozen, err := newWAL(vfs.OS, filepath.Join(dir, walFileName(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestEngineRecoversMultipleWALs(t *testing.T) {
 		t.Fatal(err)
 	}
 	frozen.close()
-	active, err := newWAL(filepath.Join(dir, walFileName(8)))
+	active, err := newWAL(vfs.OS, filepath.Join(dir, walFileName(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestEngineRecoversMultipleWALs(t *testing.T) {
 	}
 	// The replayed logs must be retired; exactly one fresh active log
 	// remains, with a sequence past both replayed ones.
-	seqs, paths, _, err := scanWALFiles(dir, false)
+	seqs, paths, _, err := scanWALFiles(vfs.OS, dir, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,9 +382,11 @@ func TestEngineRecoversMultipleWALs(t *testing.T) {
 	}
 }
 
-// TestEngineRejectsCorruptSegment verifies that a bit-flipped committed
-// segment fails Open loudly rather than serving wrong answers.
-func TestEngineRejectsCorruptSegment(t *testing.T) {
+// TestEngineQuarantinesCorruptSegment verifies that a bit-flipped
+// committed segment is quarantined at Open — renamed *.quarantine, never
+// served, never re-adopted — rather than serving wrong answers or
+// blocking the whole store.
+func TestEngineQuarantinesCorruptSegment(t *testing.T) {
 	dir := t.TempDir()
 	e := openT(t, dir, Options{NoCompactor: true})
 	e.Append(data.Uniform(2_000, 1_000_000, 51)...)
@@ -401,7 +404,18 @@ func TestEngineRejectsCorruptSegment(t *testing.T) {
 	if err := os.WriteFile(files[0], img, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, Options{NoCompactor: true}); err == nil {
-		t.Fatal("Open succeeded over a corrupt segment")
+	e2, err := Open(dir, Options{NoCompactor: true})
+	if err != nil {
+		t.Fatalf("Open over a corrupt segment: %v (want quarantine, not failure)", err)
+	}
+	defer e2.Close()
+	if got := e2.Len(); got != 0 {
+		t.Fatalf("Len = %d after quarantining the only segment, want 0", got)
+	}
+	if q, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg.quarantine")); len(q) != 1 {
+		t.Fatalf("want 1 quarantined file, got %v", q)
+	}
+	if live, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg")); len(live) != 0 {
+		t.Fatalf("corrupt segment still live: %v", live)
 	}
 }

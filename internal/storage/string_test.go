@@ -9,6 +9,8 @@ import (
 	"slices"
 	"sort"
 	"testing"
+
+	"learnedindex/internal/vfs"
 )
 
 // stringTestKeys builds a deterministic mixed-shape key set: URL-ish long
@@ -312,7 +314,7 @@ func TestStringSnapshotCountRange(t *testing.T) {
 // it must never panic, and re-encoding whatever it recovered must be a
 // prefix-consistent interpretation (keys from intact frames only).
 func FuzzWALStringReplay(f *testing.F) {
-	w, err := newWAL(filepath.Join(f.TempDir(), "wals-0.log"))
+	w, err := newWAL(vfs.OS, filepath.Join(f.TempDir(), "wals-0.log"))
 	if err != nil {
 		f.Fatal(err)
 	}

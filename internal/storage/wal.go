@@ -10,6 +10,7 @@ import (
 
 	"learnedindex/internal/binenc"
 	"learnedindex/internal/slicepool"
+	"learnedindex/internal/vfs"
 )
 
 // Write-ahead log. Every Append is one framed record:
@@ -78,7 +79,7 @@ func parseWALStrFileName(name string) (seq uint64, ok bool) {
 // frozen log before rotating past it) and Engine.Close, so a closed wal's
 // bytes are already durable or the engine has latched an error.
 type wal struct {
-	f    *os.File
+	f    vfs.File
 	w    *bufio.Writer
 	path string
 	size int64 // logical end of the last appended record (incl. buffered)
@@ -87,9 +88,9 @@ type wal struct {
 	closed  bool
 }
 
-// newWAL creates a fresh, empty log at path.
-func newWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// newWAL creates a fresh, empty log at path on the given filesystem.
+func newWAL(fs vfs.FS, path string) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}

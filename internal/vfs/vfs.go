@@ -1,0 +1,84 @@
+// Package vfs is the storage engine's filesystem seam: a small interface
+// covering exactly the operations the durability layer performs — open,
+// read, rename, remove, list, and the two fsync flavors (file and
+// directory) — with a passthrough OS implementation and a deterministic
+// seeded fault injector (fault.go).
+//
+// The seam exists so the failure model of internal/storage is *testable*:
+// every fsync error, short write, ENOSPC, torn rename, and read corruption
+// the disk can produce is producible on demand, byte-deterministically,
+// from a seed. Production code pays one interface dispatch per filesystem
+// call — noise against the syscall underneath, and measured (<1%) by the
+// "faults" experiment in internal/experiments.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is an open file handle: the subset of *os.File the storage engine
+// uses. Write appends at the current offset (engine files are written
+// sequentially); ReadAt is the positional read of recovery and scrub
+// paths; Sync is fsync.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Sync flushes OS-buffered writes to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem interface the storage engine runs on. All paths are
+// OS paths (the engine composes them with path/filepath). Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file, os.ReadFile semantics.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically renames oldpath to newpath (the commit point of
+	// segment publication).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so a just-renamed entry is durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation: every call maps 1:1 onto the os
+// package. This is the engine's default filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -113,6 +113,14 @@ type (
 	// StorageStats reports a persistent Store's disk state: segments,
 	// bytes, WAL size, and how many models were deserialized vs trained.
 	StorageStats = storage.Stats
+	// StoreHealth is a persistent Store's failure-model state, returned by
+	// Store.Health(): HealthOK (full service), HealthDegraded (read-only —
+	// the segment plane hit a persistent error such as ENOSPC; reads and
+	// scans keep serving, writes are rejected wrapped in ErrDegraded), or
+	// HealthFailed (fail-stop — the commit plane lost an fsync, so every
+	// durable operation returns the sticky first cause wrapped in
+	// ErrPoisoned). Health only descends; recovery is reopen.
+	StoreHealth = storage.Health
 
 	// Metrics is a point-in-time snapshot of a Store's always-on metrics
 	// plane, returned by Store.Metrics(): traffic counters, latency and
@@ -146,6 +154,24 @@ type (
 	// ScanStringFrom: the same loser-tree merge instantiated over strings,
 	// streaming in codec (byte) order.
 	StringIterator = scan.Iterator[string]
+)
+
+// Persistent-store health ladder (see StoreHealth).
+const (
+	HealthOK       = storage.HealthOK
+	HealthDegraded = storage.HealthDegraded
+	HealthFailed   = storage.HealthFailed
+)
+
+// Failure-model sentinels: errors.Is against these classifies a rejected
+// durable operation on a persistent Store.
+var (
+	// ErrStorePoisoned wraps every error from a fail-stop (HealthFailed)
+	// engine after a commit-plane fsync failure.
+	ErrStorePoisoned = storage.ErrPoisoned
+	// ErrStoreDegraded wraps every write rejected by a degraded
+	// (read-only, HealthDegraded) engine.
+	ErrStoreDegraded = storage.ErrDegraded
 )
 
 // Point index (§4): learned hash functions.
