@@ -6,10 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, scan, stringkeys, obs, faults, all
+// searchshootout, writepath, scan, stringkeys, obs, faults, repl, all
 // (everything except the GRU-training path of figure10; add -gru to
 // include it). serve, storage, compiled, searchshootout, writepath, scan,
-// stringkeys, obs, and faults
+// stringkeys, obs, faults, and repl
 // are this repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
@@ -34,7 +34,11 @@
 // durable-commit and flush gates run on the raw vfs.OS passthrough and
 // again through a disarmed vfs.FaultFS, with the per-gate overhead of the
 // injectable indirection (the failure-model PR's <1% claim) and the cost
-// of a clean scrub pass in each row's extras.
+// of a clean scrub pass in each row's extras; repl is the WAL-shipping
+// replication plane — end-to-end ship throughput (primary durable commit
+// to follower durable apply) under concurrent writers with the sampled
+// steady-state lag in each row's extras, and cold-follower catch-up
+// (snapshot transfer + WAL tail) to exact convergence.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -90,7 +94,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|faults|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|faults|repl|all>...")
 		fmt.Fprintln(os.Stderr, "       lix-bench [-regress pct] diff <priorDir> <freshDir>")
 		os.Exit(2)
 	}
@@ -179,8 +183,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.Obs(opts)
 	case "faults":
 		experiments.Faults(opts)
+	case "repl":
+		experiments.Repl(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs", "faults"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs", "faults", "repl"} {
 			run(e, opts, gru)
 		}
 		return

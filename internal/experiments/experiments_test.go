@@ -399,3 +399,19 @@ func TestFaultsShapeHolds(t *testing.T) {
 		t.Fatal("table not rendered")
 	}
 }
+
+func TestReplShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := Repl(o)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerKeyNs <= 0 || r.Wall <= 0 {
+			t.Errorf("%s: no measurement (%+v)", r.Name, r)
+		}
+	}
+	if !strings.Contains(buf.String(), "WAL-shipping replication") {
+		t.Fatal("table not rendered")
+	}
+}

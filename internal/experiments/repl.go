@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/repl"
+	"learnedindex/internal/storage"
+)
+
+// ReplRow is one measured replication configuration.
+type ReplRow struct {
+	Name     string
+	Wall     time.Duration
+	PerKeyNs float64
+	LagMean  float64 // steady-state mean lag in frames (ship row only)
+	LagMax   uint64  // worst sampled lag in frames (ship row only)
+}
+
+// Repl measures the WAL-shipping replication plane over the in-memory
+// transport, against real engines on disk (the follower's applies are
+// durable group commits, like production):
+//
+//   - ship: concurrent writers drive durable commits on the primary while
+//     a connected follower replays; the row is end-to-end ns/key from the
+//     first commit until the follower has durably applied and serves the
+//     full set, with the steady-state replication lag (frames) sampled
+//     throughout — the graceful-degradation claim in measurable form:
+//     shipping rides the commit stream without gating it.
+//   - catchup: a cold follower connects to a primary already holding the
+//     full flushed set and converges by snapshot transfer + WAL tail; the
+//     row is ns/key to exact convergence (Len equality).
+//
+// Each config reports its best round (floor), matching the other
+// experiments' min-of-rounds discipline.
+func Repl(o Options) []ReplRow {
+	o = o.withDefaults()
+	rep := &bench.Report{Experiment: "repl", N: o.N, Probes: o.Probes}
+
+	keys := o.N / 10
+	if keys < 5_000 {
+		keys = 5_000
+	}
+	const writers = 4
+	const batch = 256
+
+	var shipWall, catchWall time.Duration
+	var lagMean float64
+	var lagMax uint64
+
+	for r := 0; r < o.Rounds; r++ {
+		sw, lmean, lmax := replShipRound(o, r, keys, writers, batch)
+		if shipWall == 0 || sw < shipWall {
+			shipWall, lagMean, lagMax = sw, lmean, lmax
+		}
+		cw := replCatchupRound(o, r, keys)
+		if catchWall == 0 || cw < catchWall {
+			catchWall = cw
+		}
+	}
+
+	rows := []ReplRow{
+		{
+			Name:     fmt.Sprintf("ship/writers=%d", writers),
+			Wall:     shipWall,
+			PerKeyNs: float64(shipWall.Nanoseconds()) / float64(keys),
+			LagMean:  lagMean,
+			LagMax:   lagMax,
+		},
+		{
+			Name:     "catchup/cold",
+			Wall:     catchWall,
+			PerKeyNs: float64(catchWall.Nanoseconds()) / float64(keys),
+		},
+	}
+	for _, row := range rows {
+		extra := map[string]float64{"wall_ms": float64(row.Wall.Microseconds()) / 1000}
+		if row.Name != "catchup/cold" {
+			extra["lag_frames_mean"] = row.LagMean
+			extra["lag_frames_max"] = float64(row.LagMax)
+		}
+		rep.Add(bench.ReportRow{Config: row.Name, NsPerOp: row.PerKeyNs, Extra: extra})
+	}
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("WAL-shipping replication: %d keys, %d writers, %d rounds (best round)",
+			keys, writers, o.Rounds),
+		Headers: []string{"Config", "Wall (ms)", "ns/key", "Lag mean", "Lag max"},
+	}
+	for _, row := range rows {
+		lm, lx := "-", "-"
+		if row.Name != "catchup/cold" {
+			lm = fmt.Sprintf("%.1f", row.LagMean)
+			lx = fmt.Sprintf("%d", row.LagMax)
+		}
+		t.Add(row.Name,
+			fmt.Sprintf("%.2f", float64(row.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", row.PerKeyNs), lm, lx)
+	}
+	render(o, t)
+	emitJSON(o, rep)
+	return rows
+}
+
+// replPair opens a primary and follower engine pair in temp directories;
+// the cleanup closes and removes both.
+func replPair(o Options, tag string) (peng, feng *storage.Engine, cleanup func()) {
+	open := func(kind string) (*storage.Engine, string) {
+		dir, err := os.MkdirTemp(o.Dir, "lix-repl-"+kind+"-*")
+		if err != nil {
+			panic(fmt.Sprintf("repl experiment: %v", err))
+		}
+		e, err := storage.Open(dir, storage.Options{NoCompactor: true})
+		if err != nil {
+			panic(fmt.Sprintf("repl experiment: open %s: %v", kind, err))
+		}
+		return e, dir
+	}
+	peng, pdir := open("prim" + tag)
+	feng, fdir := open("fol" + tag)
+	return peng, feng, func() {
+		peng.Close()
+		feng.Close()
+		os.RemoveAll(pdir)
+		os.RemoveAll(fdir)
+	}
+}
+
+func replWaitConverged(peng, feng *storage.Engine, fol *repl.Follower, want int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if fol.AppliedSeq() >= peng.ReplDurableSeq() {
+			feng.Flush()
+			if feng.Len() == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("repl experiment: no convergence (applied=%d durable=%d len=%d want=%d)",
+				fol.AppliedSeq(), peng.ReplDurableSeq(), feng.Len(), want))
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// replShipRound measures one live-shipping round and returns its wall
+// time plus mean/max sampled lag.
+func replShipRound(o Options, r, keys, writers, batch int) (time.Duration, float64, uint64) {
+	peng, feng, cleanup := replPair(o, fmt.Sprintf("s%d", r))
+	defer cleanup()
+
+	mem := repl.NewMemTransport()
+	prim, err := repl.NewPrimary(peng, repl.PrimaryOptions{Epoch: 1, HeartbeatEvery: 5 * time.Millisecond})
+	if err != nil {
+		panic(err)
+	}
+	defer prim.Close()
+	if err := prim.Serve(mem, "prim"); err != nil {
+		panic(err)
+	}
+	fol, err := repl.NewFollower(feng, repl.FollowerOptions{
+		Addr: "prim", Transport: mem, JitterSeed: 1, FlushEvery: 1 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer fol.Close()
+	fol.Start()
+	for !fol.Status().Connected {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Lag sampler: the follower's heartbeat-informed view of how far it
+	// trails the primary's durable horizon, sampled while writers run.
+	stopLag := make(chan struct{})
+	var lagWG sync.WaitGroup
+	var lagSum, lagN, lagMax uint64
+	lagWG.Add(1)
+	go func() {
+		defer lagWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				l := fol.Status().LagFrames
+				lagSum += l
+				lagN++
+				if l > lagMax {
+					lagMax = l
+				}
+			case <-stopLag:
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := keys / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]uint64, 0, batch)
+			for i := 0; i < per; i++ {
+				buf = append(buf, uint64(w*per+i)*2654435761+11)
+				if len(buf) == batch || i == per-1 {
+					if err := peng.CommitBatch(buf); err != nil {
+						panic(fmt.Sprintf("repl experiment: commit: %v", err))
+					}
+					buf = buf[:0]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	replWaitConverged(peng, feng, fol, per*writers)
+	wall := time.Since(start)
+	close(stopLag)
+	lagWG.Wait()
+
+	mean := 0.0
+	if lagN > 0 {
+		mean = float64(lagSum) / float64(lagN)
+	}
+	return wall, mean, lagMax
+}
+
+// replCatchupRound measures a cold follower converging on a pre-loaded,
+// flushed primary (snapshot transfer + tail).
+func replCatchupRound(o Options, r, keys int) time.Duration {
+	peng, feng, cleanup := replPair(o, fmt.Sprintf("c%d", r))
+	defer cleanup()
+
+	load := make([]uint64, keys)
+	for i := range load {
+		load[i] = uint64(i)*2654435761 + 11
+	}
+	if err := peng.CommitBatch(load); err != nil {
+		panic(fmt.Sprintf("repl experiment: preload: %v", err))
+	}
+	if err := peng.Flush(); err != nil {
+		panic(fmt.Sprintf("repl experiment: preload flush: %v", err))
+	}
+
+	mem := repl.NewMemTransport()
+	prim, err := repl.NewPrimary(peng, repl.PrimaryOptions{Epoch: 1, HeartbeatEvery: 5 * time.Millisecond})
+	if err != nil {
+		panic(err)
+	}
+	defer prim.Close()
+	if err := prim.Serve(mem, "prim"); err != nil {
+		panic(err)
+	}
+
+	start := time.Now()
+	fol, err := repl.NewFollower(feng, repl.FollowerOptions{
+		Addr: "prim", Transport: mem, JitterSeed: 1, FlushEvery: 1 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer fol.Close()
+	fol.Start()
+	replWaitConverged(peng, feng, fol, peng.Len())
+	return time.Since(start)
+}

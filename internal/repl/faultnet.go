@@ -1,0 +1,270 @@
+package repl
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrNetInjected is the sentinel inside every scheduled network fault, the
+// wire twin of vfs.ErrInjected: tests distinguish "the schedule did this"
+// from a genuine bug by checking for it.
+var ErrNetInjected = errors.New("repl: injected network fault")
+
+// FaultNetConfig is a seeded network-fault schedule: per-operation
+// probabilities in [0,1], drawn from one deterministic stream in operation
+// order — vfs.FaultConfig applied to the connection seam.
+type FaultNetConfig struct {
+	Seed int64
+
+	DialErr      float64 // Dial fails outright (transient refusal)
+	DropConn     float64 // per-write: sever the connection instead
+	TornWrite    float64 // per-write: deliver a strict prefix, then sever
+	CorruptBit   float64 // per-write: flip one delivered bit (CRC must catch)
+	ReorderWrite float64 // per-write: hold this message, deliver after the next
+	Delay        float64 // per-write: sleep up to MaxDelay first (slow link)
+
+	MaxDelay time.Duration // upper bound for Delay sleeps (default 2ms)
+}
+
+// FaultNet wraps a Transport and injects the configured faults into every
+// connection in both directions of establishment (dialed and accepted).
+// Beyond the probabilistic schedule it provides the one fault chaos drivers
+// need to script explicitly: SetPartitioned severs every live connection
+// and refuses new dials until healed.
+type FaultNet struct {
+	inner Transport
+	cfg   FaultNetConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	armed       bool
+	partitioned bool
+	conns       map[*faultConn]struct{}
+	counts      map[string]int
+}
+
+// NewFaultNet wraps inner with the schedule in cfg, initially armed.
+func NewFaultNet(inner Transport, cfg FaultNetConfig) *FaultNet {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &FaultNet{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		armed:  true,
+		conns:  make(map[*faultConn]struct{}),
+		counts: make(map[string]int),
+	}
+}
+
+// Arm enables fault injection.
+func (f *FaultNet) Arm() {
+	f.mu.Lock()
+	f.armed = true
+	f.mu.Unlock()
+}
+
+// Disarm makes the transport a passthrough (the partition, being scripted
+// rather than scheduled, stays until SetPartitioned(false)).
+func (f *FaultNet) Disarm() {
+	f.mu.Lock()
+	f.armed = false
+	f.mu.Unlock()
+}
+
+// SetPartitioned scripts a network partition: while set, every Dial fails
+// and every live connection is severed immediately. Healing (false) only
+// permits new connections; severed ones stay dead — reconnect is the
+// endpoints' job.
+func (f *FaultNet) SetPartitioned(p bool) {
+	f.mu.Lock()
+	f.partitioned = p
+	var sever []*faultConn
+	if p {
+		f.counts["partition"]++
+		for c := range f.conns {
+			sever = append(sever, c)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// InjectionCounts reports how many faults fired per class, for tests
+// asserting a schedule actually exercised its classes.
+func (f *FaultNet) InjectionCounts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// roll consumes one variate and reports whether a fault with probability p
+// fires; counts it under name when it does. Caller holds f.mu.
+func (f *FaultNet) rollLocked(name string, p float64) bool {
+	if !f.armed || p <= 0 {
+		return false
+	}
+	if f.rng.Float64() >= p {
+		return false
+	}
+	f.counts[name]++
+	return true
+}
+
+func (f *FaultNet) Dial(addr string) (Conn, error) {
+	f.mu.Lock()
+	if f.partitioned {
+		f.counts["dial_partitioned"]++
+		f.mu.Unlock()
+		return nil, ErrNetInjected
+	}
+	if f.rollLocked("dial", f.cfg.DialErr) {
+		f.mu.Unlock()
+		return nil, ErrNetInjected
+	}
+	f.mu.Unlock()
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(c), nil
+}
+
+func (f *FaultNet) Listen(addr string) (Listener, error) {
+	ln, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{f: f, ln: ln}, nil
+}
+
+func (f *FaultNet) wrap(c Conn) *faultConn {
+	fc := &faultConn{f: f, inner: c}
+	f.mu.Lock()
+	if f.partitioned {
+		// Raced a partition: the connection is stillborn.
+		f.mu.Unlock()
+		c.Close()
+		return fc
+	}
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+type faultListener struct {
+	f  *FaultNet
+	ln Listener
+}
+
+func (l *faultListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.wrap(c), nil
+}
+
+func (l *faultListener) Close() error { return l.ln.Close() }
+func (l *faultListener) Addr() string { return l.ln.Addr() }
+
+// faultConn injects write-side faults. Reads pass through: every fault a
+// read could see (loss, corruption, truncation) is equivalently injected on
+// some writer, and one-sided injection keeps the variate stream aligned
+// with the operation order.
+type faultConn struct {
+	f     *FaultNet
+	inner Conn
+
+	mu   sync.Mutex // serializes writes; held is the reorder buffer
+	held []byte
+	once sync.Once
+}
+
+func (c *faultConn) Read(p []byte) (int, error) { return c.inner.Read(p) }
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.f
+
+	f.mu.Lock()
+	drop := f.rollLocked("drop_conn", f.cfg.DropConn)
+	torn := !drop && f.rollLocked("torn_write", f.cfg.TornWrite)
+	corrupt := !drop && !torn && f.rollLocked("corrupt_bit", f.cfg.CorruptBit)
+	reorder := !drop && !torn && f.rollLocked("reorder_write", f.cfg.ReorderWrite)
+	delay := f.rollLocked("delay", f.cfg.Delay)
+	var tornAt, corruptBit, delayNs int64
+	if torn && len(p) > 1 {
+		tornAt = 1 + f.rng.Int63n(int64(len(p)-1))
+	}
+	if corrupt && len(p) > 0 {
+		corruptBit = f.rng.Int63n(int64(len(p) * 8))
+	}
+	if delay {
+		delayNs = f.rng.Int63n(int64(f.cfg.MaxDelay) + 1)
+	}
+	f.mu.Unlock()
+
+	if delay {
+		time.Sleep(time.Duration(delayNs))
+	}
+	switch {
+	case drop:
+		c.closeInner()
+		return 0, ErrNetInjected
+	case torn:
+		if tornAt > 0 {
+			c.inner.Write(p[:tornAt])
+		}
+		c.closeInner()
+		return int(tornAt), ErrNetInjected
+	case corrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		if len(q) > 0 {
+			q[corruptBit/8] ^= 1 << (corruptBit % 8)
+		}
+		return c.inner.Write(q)
+	case reorder && c.held == nil && len(p) <= 64<<10:
+		// Hold this whole message; it rides behind the next write. The
+		// receiver sees valid CRCs in the wrong order — exactly the class
+		// the follower's sequence check must catch.
+		c.held = append([]byte(nil), p...)
+		return len(p), nil
+	}
+	if held := c.held; held != nil {
+		c.held = nil
+		if _, err := c.inner.Write(p); err != nil {
+			return 0, err
+		}
+		if _, err := c.inner.Write(held); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return c.inner.Write(p)
+}
+
+func (c *faultConn) closeInner() {
+	c.once.Do(func() {
+		c.inner.Close()
+		c.f.mu.Lock()
+		delete(c.f.conns, c)
+		c.f.mu.Unlock()
+	})
+}
+
+func (c *faultConn) Close() error {
+	c.closeInner()
+	return nil
+}

@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MemTransport is an in-process Transport: named listeners, duplex
+// connections built from two bounded byte pipes. It exists for tests and
+// benchmarks — everything the TCP transport provides (ordered bytes,
+// backpressure when the peer stops reading, Close unblocking both ends)
+// without sockets, so the chaos oracle can run thousands of connection
+// cycles deterministically cheap.
+type MemTransport struct {
+	mu sync.Mutex
+	ls map[string]*memListener
+}
+
+// NewMemTransport returns an empty in-memory network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{ls: make(map[string]*memListener)}
+}
+
+func (t *MemTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.ls[addr]; ok {
+		return nil, fmt.Errorf("repl: address %q already in use", addr)
+	}
+	l := &memListener{t: t, addr: addr, backlog: make(chan Conn, 16), done: make(chan struct{})}
+	t.ls[addr] = l
+	return l, nil
+}
+
+func (t *MemTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l := t.ls[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, ErrConnRefused
+	}
+	a2b, b2a := newPipeBuf(), newPipeBuf()
+	client := &memConn{rd: b2a, wr: a2b}
+	server := &memConn{rd: a2b, wr: b2a}
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrConnRefused
+	}
+}
+
+type memListener struct {
+	t       *MemTransport
+	addr    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("repl: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		if l.t.ls[l.addr] == l {
+			delete(l.t.ls, l.addr)
+		}
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memConn is one duplex endpoint over two pipes. Close severs BOTH
+// directions, so a blocked peer (reader or writer, either side) wakes —
+// the property every watchdog in the plane depends on.
+type memConn struct {
+	rd, wr *pipeBuf
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.rd.Read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.wr.Write(p) }
+func (c *memConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+// pipeBufCap bounds the bytes buffered in one direction. A follower that
+// stops draining (bounded apply queue full) fills this buffer and the
+// primary's Write blocks — transport backpressure, exactly like a full TCP
+// window.
+const pipeBufCap = 256 << 10
+
+type pipeBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newPipeBuf() *pipeBuf {
+	p := &pipeBuf{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipeBuf) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.closed {
+			return 0, io.EOF
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[:copy(p.buf, p.buf[n:])]
+	p.cond.Broadcast()
+	return n, nil
+}
+
+func (p *pipeBuf) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) >= pipeBufCap {
+		if p.closed {
+			return 0, io.ErrClosedPipe
+		}
+		p.cond.Wait()
+	}
+	if p.closed {
+		return 0, io.ErrClosedPipe
+	}
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *pipeBuf) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

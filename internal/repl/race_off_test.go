@@ -1,0 +1,5 @@
+//go:build !race
+
+package repl
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package repl
+
+// raceEnabled reports that this binary was built with the race detector;
+// the chaos oracle trims its seed matrix there (each trial runs an entire
+// replication topology — full matrices belong to the uninstrumented run,
+// one schedule per mode proves race-freedom).
+const raceEnabled = true

@@ -1,0 +1,56 @@
+package repl
+
+import (
+	"errors"
+	"io"
+	"net"
+)
+
+// Conn is a replication connection: an ordered, unreliable-in-aggregate
+// byte stream. Close must unblock concurrent Read/Write calls — the plane's
+// watchdogs enforce liveness by closing, never by deadlines, so every
+// transport (TCP, in-memory, fault-injected) behaves identically.
+type Conn = io.ReadWriteCloser
+
+// Listener accepts replication connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address in the transport's own namespace (host:port
+	// for TCP, the registered name for the in-memory transport).
+	Addr() string
+}
+
+// Transport abstracts the connection seam so the same primary/follower code
+// runs over real TCP in production and over the seeded in-memory fault
+// transport in the chaos oracle — the vfs.FS pattern applied to the wire.
+type Transport interface {
+	Dial(addr string) (Conn, error)
+	Listen(addr string) (Listener, error)
+}
+
+// ErrConnRefused is returned by Dial when nothing listens at the address
+// (the in-memory transport's ECONNREFUSED).
+var ErrConnRefused = errors.New("repl: connection refused")
+
+// TCP is the production transport: plain net package TCP. NoDelay is Go's
+// default, which is what a latency-sensitive ack stream wants.
+var TCP Transport = tcpTransport{}
+
+type tcpTransport struct{}
+
+func (tcpTransport) Dial(addr string) (Conn, error) { return net.Dial("tcp", addr) }
+
+func (tcpTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{ln}, nil
+}
+
+type tcpListener struct{ ln net.Listener }
+
+func (l tcpListener) Accept() (Conn, error) { return l.ln.Accept() }
+func (l tcpListener) Close() error          { return l.ln.Close() }
+func (l tcpListener) Addr() string          { return l.ln.Addr().String() }

@@ -212,6 +212,10 @@ type Store struct {
 	// eng, when non-nil, is the disk engine of a persistent Store; the
 	// in-memory shard fields above are unused in that mode.
 	eng *storage.Engine
+	// repl holds the store's replication attachments: the shipper started
+	// by ServeReplication and/or the follower installed by OpenFollower
+	// (see follower.go; a follower store refuses every local write).
+	repl replState
 }
 
 // storeMetrics is the serving layer's handle bundle into the shared
@@ -498,6 +502,9 @@ func (s *Store) Insert(key uint64) {
 	if s.strKeys {
 		panic("serve: uint64 insert on a string-keyed store")
 	}
+	if s.repl.follower != nil {
+		panic("serve: insert on a follower store (writes go to the primary)")
+	}
 	s.m.inserts.Inc()
 	if s.eng != nil {
 		if s.eng.Append(key) != nil {
@@ -538,6 +545,9 @@ func (s *Store) Insert(key uint64) {
 func (s *Store) InsertDurable(keys ...uint64) error {
 	if s.strKeys {
 		panic("serve: uint64 insert on a string-keyed store")
+	}
+	if s.repl.follower != nil {
+		return ErrFollowerStore
 	}
 	if s.eng == nil {
 		for _, k := range keys {
@@ -794,8 +804,13 @@ func (s *Store) Flush() {
 // Sync is the durability barrier of a persistent Store: when it returns
 // nil, every Insert that returned before the call survives a crash (WAL
 // fsync acknowledgement). It also surfaces any sticky engine write error.
-// On an in-memory Store it is a no-op.
+// On an in-memory Store it is a no-op. On a follower store it returns
+// ErrFollowerStore: there is nothing local to make durable, because every
+// local write was refused.
 func (s *Store) Sync() error {
+	if s.repl.follower != nil {
+		return ErrFollowerStore
+	}
 	if s.eng == nil {
 		return nil
 	}
@@ -815,6 +830,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closeDebug()
+	s.closeRepl()
 	close(s.quit)
 	s.wg.Wait()
 	if s.eng != nil {

@@ -204,6 +204,9 @@ func (s *Store) InsertString(key string) {
 	if !s.strKeys {
 		panic("serve: string insert on a uint64-keyed store")
 	}
+	if s.repl.follower != nil {
+		panic("serve: insert on a follower store (writes go to the primary)")
+	}
 	s.m.inserts.Inc()
 	if s.eng != nil {
 		if s.eng.AppendString(key) != nil {
@@ -240,6 +243,9 @@ func (s *Store) InsertString(key string) {
 func (s *Store) InsertDurableString(keys ...string) error {
 	if !s.strKeys {
 		panic("serve: string insert on a uint64-keyed store")
+	}
+	if s.repl.follower != nil {
+		return ErrFollowerStore
 	}
 	if s.eng == nil {
 		for _, k := range keys {

@@ -12,10 +12,13 @@ import (
 // oracleSchedule is the fault mix every oracle trial runs under: every
 // injectable class is live at a low rate so trials exercise fsync loss,
 // ENOSPC, torn writes, failed renames/removes/opens, and read errors in
-// one schedule. ReadCorrupt stays zero on purpose — silently rotting the
-// only durable copy of an acked key is genuine data loss, not a
-// recoverable fault; the checksum/quarantine plane owns that class (see
-// degraded_test.go).
+// one schedule. ReadCorrupt stays zero in the main schedule on purpose —
+// silently rotting the only durable copy of an acked key is genuine data
+// loss, not a recoverable fault, so the checksum/quarantine plane owns
+// that class (see degraded_test.go). The oracle still exercises it: after
+// the clean reopen, a second ReadCorrupt-only schedule rots every segment
+// read and Scrub must detect and durably heal all of them (see the scrub
+// phase in runFaultOracleTrial).
 func oracleSchedule(seed int64) vfs.FaultConfig {
 	return vfs.FaultConfig{
 		Seed:        seed,
@@ -180,10 +183,15 @@ func runFaultOracleTrial(t *testing.T, seed int64, strMode bool) {
 		requireScheduled("close", err)
 	}
 
-	// Clean reopen on the real filesystem: recovery must reconstruct a
-	// state serving acked ⊆ served ⊆ attempted with an exact Len.
+	// Clean reopen: recovery must reconstruct a state serving
+	// acked ⊆ served ⊆ attempted with an exact Len. The reopen goes through
+	// a second FaultFS carrying a ReadCorrupt-only schedule — disarmed for
+	// now, so open and the recovery assertions below see honest bytes; the
+	// scrub phase at the end arms it.
 	ffs.Disarm()
-	re, err := Open(dir, Options{NoCompactor: true, StringKeys: strMode})
+	rffs := vfs.NewFaultFS(vfs.OS, vfs.FaultConfig{Seed: seed, ReadCorrupt: 1})
+	rffs.Disarm()
+	re, err := Open(dir, Options{NoCompactor: true, StringKeys: strMode, FS: rffs})
 	if err != nil {
 		t.Fatalf("reopen after fault schedule failed: %v", err)
 	}
@@ -221,6 +229,35 @@ func runFaultOracleTrial(t *testing.T, seed int64, strMode bool) {
 		k := 2_000_000_000 + uint64(rng.Int63n(1_000_000_000))
 		if contains(re, k) {
 			t.Fatalf("phantom key %d after recovery", k)
+		}
+	}
+
+	// Scrub phase: arm ReadCorrupt=1 so every segment file re-read comes
+	// back with one bit flipped. Scrub must flag every live segment as rotted
+	// and heal each from its in-memory image; the heal writes go through the
+	// same FaultFS but only reads are scheduled, so they land honestly.
+	segs := re.Stats().Segments
+	rffs.Arm()
+	checked, healed, serr := re.Scrub()
+	if serr != nil {
+		t.Fatalf("scrub under ReadCorrupt returned error: %v", serr)
+	}
+	if checked != segs || healed != checked {
+		t.Fatalf("scrub under ReadCorrupt: checked=%d healed=%d, want both %d", checked, healed, segs)
+	}
+	if segs > 0 && rffs.Injected() == 0 {
+		t.Fatal("ReadCorrupt schedule never fired during scrub")
+	}
+	// Heals must be durable: with corruption disarmed, a second pass reads
+	// the rewritten files clean and heals nothing.
+	rffs.Disarm()
+	if checked, healed, serr = re.Scrub(); serr != nil || checked != segs || healed != 0 {
+		t.Fatalf("post-heal scrub: checked=%d healed=%d err=%v, want %d/0/nil", checked, healed, serr, segs)
+	}
+	// And the healed engine still serves the durability contract.
+	for k := range acked {
+		if !contains(re, k) {
+			t.Fatalf("acked key %d lost after scrub heal", k)
 		}
 	}
 }

@@ -208,6 +208,18 @@ type Engine struct {
 	quarCount  atomic.Int64 // *.quarantine files currently in dir
 	bpDebt     int          // backpressure threshold (0 = disabled)
 
+	// Replication export plane, guarded by mu (see repl.go). replSink
+	// receives frames as their fsync lands; replNext is the last stream
+	// sequence assigned at encode time; replPending holds frames encoded
+	// but not yet covered by an fsync; replTail holds durable frames not
+	// yet covered by a published segment; replDurable is the durable
+	// horizon (highest promoted sequence).
+	replSink    ReplSink
+	replNext    uint64
+	replPending []ReplFrame
+	replTail    []ReplFrame
+	replDurable uint64
+
 	reg *obs.Registry
 	m   engineMetrics
 }
@@ -550,6 +562,7 @@ func (e *Engine) AppendBatch(keys []uint64) error {
 			return e.poisonLocked(err)
 		}
 		e.pending = append(e.pending, chunk...)
+		e.replRecordLocked(slices.Clone(chunk), nil)
 		keys = keys[len(chunk):]
 	}
 	e.appendSeq++
@@ -607,6 +620,7 @@ func (e *Engine) AppendStringBatch(keys []string) error {
 			return e.poisonLocked(err)
 		}
 		e.pendingS = append(e.pendingS, keys[lo:hi]...)
+		e.replRecordLocked(nil, slices.Clone(keys[lo:hi]))
 		lo = hi
 	}
 	e.appendSeq++
@@ -704,6 +718,12 @@ func (e *Engine) drainCohortLocked() {
 		}
 		if err := e.wal.appendBatches(e.cohort[start:end]); err != nil {
 			e.poisonLocked(err)
+		} else if e.replSink != nil {
+			run := make([]uint64, 0, count)
+			for _, b := range e.cohort[start:end] {
+				run = append(run, b...)
+			}
+			e.replRecordLocked(run, nil)
 		}
 		start, count = end, 0
 	}
@@ -715,6 +735,8 @@ func (e *Engine) drainCohortLocked() {
 				hi := min(lo+maxAppendChunk, len(b))
 				if err := e.wal.append(b[lo:hi]); err != nil {
 					e.poisonLocked(err)
+				} else {
+					e.replRecordLocked(slices.Clone(b[lo:hi]), nil)
 				}
 			}
 			start = i + 1
@@ -748,6 +770,12 @@ func (e *Engine) drainCohortStrLocked() {
 		}
 		if err := e.wal.appendStringBatches(e.cohortS[start:end]); err != nil {
 			e.poisonLocked(err)
+		} else if e.replSink != nil {
+			var run []string
+			for _, b := range e.cohortS[start:end] {
+				run = append(run, b...)
+			}
+			e.replRecordLocked(nil, run)
 		}
 		start, bytes = end, 0
 	}
@@ -760,6 +788,8 @@ func (e *Engine) drainCohortStrLocked() {
 				hi, _ := stringChunkEnd(b, lo)
 				if err := e.wal.appendStrings(b[lo:hi]); err != nil {
 					e.poisonLocked(err)
+				} else {
+					e.replRecordLocked(nil, slices.Clone(b[lo:hi]))
 				}
 				lo = hi
 			}
@@ -880,6 +910,9 @@ func (e *Engine) waitDurable(target uint64) error {
 		if serr == nil && covered > e.durableSeq {
 			e.durableSeq = covered
 		}
+		if serr == nil {
+			e.replPromoteLocked()
+		}
 		e.syncing = false
 		e.syncCond.Broadcast()
 		// Loop: covered >= target by construction, so this returns unless
@@ -947,6 +980,10 @@ func (e *Engine) Flush() error {
 	if e.appendSeq > e.durableSeq {
 		e.durableSeq = e.appendSeq
 	}
+	e.replPromoteLocked()
+	// Every frame encoded so far lives in the frozen log; once its segment
+	// publishes, these frames trim from the durable tail (below).
+	replTrimTo := e.replNext
 	e.syncCond.Broadcast()
 	nw, err := newWAL(e.fs, filepath.Join(e.dir, e.walName(e.walSeq+1)))
 	if err != nil {
@@ -987,6 +1024,7 @@ func (e *Engine) Flush() error {
 	e.mu.Lock()
 	e.flushing = nil
 	e.flushingS = nil
+	e.replTrimLocked(replTrimTo)
 	e.mu.Unlock()
 	if e.opts.StringKeys {
 		putPendingStrBuf(snapS)
