@@ -93,10 +93,18 @@ type Follower struct {
 	strMode bool
 	opts    FollowerOptions
 
-	mu             sync.Mutex
-	addr           string
-	maxEpoch       uint64
+	mu       sync.Mutex
+	addr     string
+	maxEpoch uint64
+	// applied is the durably applied frame horizon in maxEpoch's stream;
+	// it is meaningful only while baselined is true. An epoch raise marks a
+	// NEW stream (a restarted primary's frame sequence restarts at 1), so
+	// the handshake zeroes applied and clears baselined; only a completed
+	// snapshot under the new epoch re-baselines. While un-baselined the
+	// hello advertises needSnapSeq so the primary can never resume a stale
+	// horizon past frames this follower has not seen.
 	applied        uint64
+	baselined      bool
 	primaryDurable uint64
 	connected      bool
 	sessions       int64
@@ -138,6 +146,12 @@ func newFollowerMetrics(reg *obs.Registry) followerMetrics {
 
 // errStalePrimary marks a session ended by fencing a deposed primary.
 var errStalePrimary = errors.New("repl: fenced a stale primary")
+
+// needSnapSeq is the hello sequence a follower sends when it has no valid
+// position in the primary's stream (fresh, or its baseline belongs to an
+// older epoch). It exceeds any real durable horizon, so the primary's
+// resume check routes the session to the snapshot path.
+const needSnapSeq = ^uint64(0)
 
 // NewFollower attaches a replay loop to eng (which must be open in the
 // same key mode as the primary). Durable replication state (fencing floor,
@@ -280,7 +294,11 @@ func (f *Follower) session(c Conn) error {
 		return nil
 	}
 	f.conn = c
-	hello := msg{kind: msgHello, strMode: f.strMode, epoch: f.maxEpoch, seq: f.applied}
+	helloSeq := f.applied
+	if !f.baselined {
+		helloSeq = needSnapSeq // no valid position: force the snapshot path
+	}
+	hello := msg{kind: msgHello, strMode: f.strMode, epoch: f.maxEpoch, seq: helloSeq}
 	f.mu.Unlock()
 	defer func() {
 		f.mu.Lock()
@@ -319,12 +337,22 @@ func (f *Follower) session(c Conn) error {
 	}
 	epochRaised := ph.epoch > f.maxEpoch
 	f.maxEpoch = ph.epoch
+	if epochRaised {
+		// A new epoch is a new stream: a restarted primary's frame sequence
+		// restarts at 1, so the old stream's horizon is not just stale but
+		// poisonous — advertising it under the new epoch would let the
+		// primary resume past frames this follower never saw. Zero it and
+		// drop the baseline; only this epoch's snapshot re-establishes one.
+		f.applied = 0
+		f.baselined = false
+	}
 	f.primaryDurable = ph.seq
 	f.sessions++
 	reconnect := f.sessions > 1
 	f.mu.Unlock()
 	f.m.maxEpoch.Set(int64(ph.epoch))
 	if epochRaised {
+		f.m.appliedSeq.Set(0)
 		f.saveState()
 	}
 	if reconnect {
@@ -440,11 +468,16 @@ func (f *Follower) apply(m *msg, c Conn, wbuf *[]byte, wmu *sync.Mutex, wd *time
 			return err
 		}
 		wd.Reset(f.opts.HeartbeatTimeout)
-		return nil
+		// Progress ack: it moves no horizon (that happens at snapEnd) but it
+		// is read progress on the primary, whose silence watchdog would
+		// otherwise sever any snapshot whose transfer+apply outlasts its
+		// ReadTimeout — a catch-up livelock for non-trivial datasets.
+		return f.ack(c, wbuf, wmu, f.AppliedSeq(), 0)
 	case msgSnapEnd:
-		// The image is durable; adopt its horizon. A crash before this
-		// point replays or re-snapshots — both deduplicate.
-		f.setApplied(m.seq)
+		// The image is durable; adopt its horizon EXACTLY (assignment, not
+		// max — after an epoch raise the old stream's high-water mark must
+		// not win against the new stream's position) and re-baseline.
+		f.adoptApplied(m.seq)
 		f.saveState()
 		return f.ack(c, wbuf, wmu, m.seq, 0)
 	case msgFrame:
@@ -507,6 +540,17 @@ func (f *Follower) setApplied(seq uint64) {
 	f.m.appliedSeq.Set(int64(applied))
 }
 
+// adoptApplied pins the applied horizon to seq exactly and marks it a valid
+// baseline in maxEpoch's stream — snapshot adoption, where setApplied's
+// raise-only rule (right for in-order frames) would be wrong.
+func (f *Follower) adoptApplied(seq uint64) {
+	f.mu.Lock()
+	f.applied = seq
+	f.baselined = true
+	f.mu.Unlock()
+	f.m.appliedSeq.Set(int64(seq))
+}
+
 // AppliedSeq returns the durably applied frame horizon.
 func (f *Follower) AppliedSeq() uint64 {
 	f.mu.Lock()
@@ -535,11 +579,13 @@ func (f *Follower) setConnected(up bool, _ error) {
 // --- durable replication state -------------------------------------------
 //
 // repl-state pins the fencing floor and applied horizon across follower
-// restarts: magic, uvarint maxEpoch, uvarint appliedSeq, crc32c. Written
-// atomically (temp + rename) and always AFTER the state it describes is
-// durable in the engine, so a stale file only ever under-reports — the
-// primary re-ships or re-snapshots, and replay deduplicates. A corrupt or
-// missing file degrades to zeros for the same reason.
+// restarts: magic, uvarint maxEpoch, uvarint appliedSeq, uvarint baselined
+// (0/1 — whether appliedSeq is a valid position in maxEpoch's stream),
+// crc32c. Written atomically (temp + rename) and always AFTER the state it
+// describes is durable in the engine, so a stale file only ever
+// under-reports — the primary re-ships or re-snapshots, and replay
+// deduplicates. A corrupt, missing, or older-format file degrades to zeros
+// (un-baselined) for the same reason.
 
 const replStateName = "repl-state"
 
@@ -565,19 +611,25 @@ func (f *Follower) loadState() {
 	r := binenc.NewReader(body[len(replStateMagic):])
 	epoch := r.Uvarint()
 	applied := r.Uvarint()
-	if r.Err() != nil || r.Remaining() != 0 {
+	baselined := r.Uvarint()
+	if r.Err() != nil || r.Remaining() != 0 || baselined > 1 {
 		return
 	}
-	f.maxEpoch, f.applied = epoch, applied
+	f.maxEpoch, f.applied, f.baselined = epoch, applied, baselined == 1
 }
 
 func (f *Follower) saveState() {
 	f.mu.Lock()
-	epoch, applied := f.maxEpoch, f.applied
+	epoch, applied, baselined := f.maxEpoch, f.applied, f.baselined
 	f.mu.Unlock()
 	buf := append([]byte(nil), replStateMagic...)
 	buf = binenc.AppendUvarint(buf, epoch)
 	buf = binenc.AppendUvarint(buf, applied)
+	var b uint64
+	if baselined {
+		b = 1
+	}
+	buf = binenc.AppendUvarint(buf, b)
 	crc := crc32.Checksum(buf, wireCRC)
 	buf = append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
 	tmp := f.statePath() + ".tmp"

@@ -342,7 +342,10 @@ func (p *Primary) handleConn(c Conn) {
 	defer func() {
 		p.mu.Lock()
 		delete(p.conns, pc)
+		lagF, lagB := p.maxLagLocked()
 		p.mu.Unlock()
+		p.m.lagFrames.Set(int64(lagF))
+		p.m.lagBytes.Set(int64(lagB))
 		p.m.followers.Add(-1)
 	}()
 
@@ -351,7 +354,9 @@ func (p *Primary) handleConn(c Conn) {
 
 	// Resume from the follower's acked horizon when this epoch's ring can
 	// serve it; anything else (older epoch, ahead of our stream — i.e. a
-	// different stream — or fallen off the ring) takes the snapshot path.
+	// different stream, including the follower's explicit needSnapSeq
+	// "I have no position" sentinel — or fallen off the ring) takes the
+	// snapshot path.
 	cursor := uint64(0)
 	if hello.epoch == p.opts.Epoch && hello.seq <= durable {
 		cursor = hello.seq + 1
@@ -378,7 +383,7 @@ func (p *Primary) readAcks(c Conn, pc *pconn, wd *time.Timer, dead chan struct{}
 			if m.seq > pc.acked {
 				pc.acked = m.seq
 			}
-			lagF, lagB := p.lagLocked(pc)
+			lagF, lagB := p.maxLagLocked()
 			var rtt time.Duration
 			if m.nonce != 0 && m.nonce == pc.nonce {
 				rtt = time.Since(pc.sentAt)
@@ -398,6 +403,18 @@ func (p *Primary) readAcks(c Conn, pc *pconn, wd *time.Timer, dead chan struct{}
 			return
 		}
 	}
+}
+
+// maxLagLocked reports the worst lag across the live connection set, so
+// the global gauges track the slowest follower instead of flapping to
+// whichever one acked last.
+func (p *Primary) maxLagLocked() (frames, bytes uint64) {
+	for pc := range p.conns {
+		f, b := p.lagLocked(pc)
+		frames = max(frames, f)
+		bytes = max(bytes, b)
+	}
+	return frames, bytes
 }
 
 // lagLocked approximates pc's lag from the ring: frames past its ack, and

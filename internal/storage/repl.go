@@ -71,18 +71,35 @@ func (e *Engine) replRecordLocked(keys []uint64, strs []string) {
 	e.replPending = append(e.replPending, ReplFrame{Seq: e.replNext, Keys: keys, Strs: strs})
 }
 
-// replPromoteLocked moves every encoded frame to the durable tail and hands
-// the batch to the sink. Called with mu held immediately after a successful
-// commit-plane fsync — the cohort fsync covers every frame encoded before
-// it, so the whole pending run promotes at once. Frames of a failed fsync
-// are never promoted: the engine poisons and the stream ends at the last
-// durable frame.
-func (e *Engine) replPromoteLocked() {
+// replPromoteLocked moves encoded frames with Seq <= covered to the durable
+// tail and hands the batch to the sink. Called with mu held immediately
+// after a successful commit-plane fsync; covered is the highest stream
+// sequence whose bytes that fsync actually pushed to disk, captured (with
+// mu held) before the leader dropped the lock for the disk wait. The bound
+// matters: appends keep encoding frames while the fsync is in flight, and
+// those frames are NOT durable yet — promoting them would ship keys to
+// followers that a primary crash could still lose. They stay pending for
+// the next fsync. Frames of a failed fsync are never promoted: the engine
+// poisons and the stream ends at the last durable frame.
+func (e *Engine) replPromoteLocked(covered uint64) {
 	if e.replSink == nil || len(e.replPending) == 0 {
 		return
 	}
-	frames := e.replPending
-	e.replPending = nil
+	n := 0
+	for n < len(e.replPending) && e.replPending[n].Seq <= covered {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	var frames []ReplFrame
+	if n == len(e.replPending) {
+		frames = e.replPending
+		e.replPending = nil
+	} else {
+		frames = append(frames, e.replPending[:n]...)
+		e.replPending = append(e.replPending[:0], e.replPending[n:]...)
+	}
 	e.replTail = append(e.replTail, frames...)
 	e.replDurable = frames[len(frames)-1].Seq
 	e.replSink(frames)

@@ -895,6 +895,10 @@ func (e *Engine) waitDurable(target uint64) error {
 			return e.err
 		}
 		covered := e.appendSeq // everything encoded so far rides this fsync
+		// Same bound for the repl plane: frames encoded after mu drops (an
+		// Append during the disk wait) are in the bufio buffer, not on disk,
+		// and must not promote on this fsync.
+		replCovered := e.replNext
 		w := e.wal
 		e.mu.Unlock()
 		fsyncStart := time.Now()
@@ -911,7 +915,7 @@ func (e *Engine) waitDurable(target uint64) error {
 			e.durableSeq = covered
 		}
 		if serr == nil {
-			e.replPromoteLocked()
+			e.replPromoteLocked(replCovered)
 		}
 		e.syncing = false
 		e.syncCond.Broadcast()
@@ -980,7 +984,9 @@ func (e *Engine) Flush() error {
 	if e.appendSeq > e.durableSeq {
 		e.durableSeq = e.appendSeq
 	}
-	e.replPromoteLocked()
+	// The freeze fsync ran with mu held throughout, so every encoded frame
+	// is on disk and the whole pending run promotes.
+	e.replPromoteLocked(e.replNext)
 	// Every frame encoded so far lives in the frozen log; once its segment
 	// publishes, these frames trim from the durable tail (below).
 	replTrimTo := e.replNext
