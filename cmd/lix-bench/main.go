@@ -6,10 +6,10 @@
 //
 // Experiments: naive, figure4, figure5, figure6, figure8, figure10,
 // figure11, table1, appendixA, appendixE, serve, storage, compiled,
-// searchshootout, writepath, scan, stringkeys, obs, faults, repl, all
-// (everything except the GRU-training path of figure10; add -gru to
-// include it). serve, storage, compiled, searchshootout, writepath, scan,
-// stringkeys, obs, faults, and repl
+// searchshootout, writepath, scan, stringkeys, obs, faults, repl,
+// serving, all (everything except the GRU-training path of figure10; add
+// -gru to include it). serve, storage, compiled, searchshootout,
+// writepath, scan, stringkeys, obs, faults, repl, and serving
 // are this repo's extensions beyond the paper: serve is
 // single-threaded per-key lookups vs the sharded concurrent batch serving
 // layer; storage is the persistent learned-segment engine — WAL ingest,
@@ -38,7 +38,12 @@
 // replication plane — end-to-end ship throughput (primary durable commit
 // to follower durable apply) under concurrent writers with the sampled
 // steady-state lag in each row's extras, and cold-follower catch-up
-// (snapshot transfer + WAL tail) to exact convergence.
+// (snapshot transfer + WAL tail) to exact convergence; serving is the
+// network serving plane under mixed load — a three-node range-partitioned
+// cluster behind real TCP wire servers, driven through the
+// internal/router client by concurrent workers replaying Zipf hot-key
+// reads mixed with routed insert batches, with per-RPC p50/p99 wire
+// latency in each row's extras.
 //
 // Experiments also write machine-readable BENCH_<experiment>.json files
 // (ns/op, bytes, maxErr per config) to -jsondir (default "."; empty
@@ -94,7 +99,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|faults|repl|all>...")
+		fmt.Fprintln(os.Stderr, "usage: lix-bench [flags] <naive|figure4|figure5|figure6|figure8|figure10|figure11|table1|appendixA|appendixE|serve|storage|compiled|searchshootout|writepath|scan|stringkeys|obs|faults|repl|serving|all>...")
 		fmt.Fprintln(os.Stderr, "       lix-bench [-regress pct] diff <priorDir> <freshDir>")
 		os.Exit(2)
 	}
@@ -185,8 +190,10 @@ func run(exp string, opts experiments.Options, gru bool) {
 		experiments.Faults(opts)
 	case "repl":
 		experiments.Repl(opts)
+	case "serving":
+		experiments.Serving(opts)
 	case "all":
-		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs", "faults", "repl"} {
+		for _, e := range []string{"naive", "figure4", "figure5", "figure6", "figure8", "figure10", "figure11", "table1", "appendixA", "appendixE", "serve", "storage", "compiled", "searchshootout", "writepath", "scan", "stringkeys", "obs", "faults", "repl", "serving"} {
 			run(e, opts, gru)
 		}
 		return

@@ -2,6 +2,9 @@
 // or for use by external tools. Integer datasets are written as
 // little-endian uint64 with an 8-byte count header (the common layout of
 // learned-index benchmark suites); string datasets one key per line.
+// With -zipf s (s > 1), each integer dataset also gets a hot-key probe
+// trace in the same layout: probes drawn Zipf-skewed from the dataset,
+// for replaying skewed serving traffic against external systems.
 package main
 
 import (
@@ -19,6 +22,8 @@ func main() {
 	n := flag.Int("n", 1_000_000, "dataset size")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dir := flag.String("dir", "datasets", "output directory")
+	zipf := flag.Float64("zipf", 0, "also write hot-key probe traces with this Zipf exponent (>1; 0 = off)")
+	zipfm := flag.Int("zipfm", 0, "probes per Zipf trace (default n/2)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -51,9 +56,30 @@ func main() {
 		fmt.Printf("wrote %s (%d keys)\n", path, len(keys))
 	}
 
-	write(fmt.Sprintf("maps_%d.bin", *n), data.Maps(*n, *seed))
-	write(fmt.Sprintf("weblogs_%d.bin", *n), data.Weblogs(*n, *seed))
-	write(fmt.Sprintf("lognormal_%d.bin", *n), data.LognormalPaper(*n, *seed))
+	// Zipf traces share the dataset layout (count header + uint64s): a
+	// probe stream, not a sorted key set, drawn hot-key-skewed from the
+	// dataset it is named after.
+	maybeTrace := func(name string, keys data.Keys) {
+		if *zipf <= 0 {
+			return
+		}
+		m := *zipfm
+		if m <= 0 {
+			m = *n / 2
+		}
+		write(fmt.Sprintf("%s_zipf%.2f_%d.bin", name, *zipf, m),
+			data.ZipfTraffic(keys, m, *zipf, *seed))
+	}
+
+	maps := data.Maps(*n, *seed)
+	write(fmt.Sprintf("maps_%d.bin", *n), maps)
+	maybeTrace("maps", maps)
+	weblogs := data.Weblogs(*n, *seed)
+	write(fmt.Sprintf("weblogs_%d.bin", *n), weblogs)
+	maybeTrace("weblogs", weblogs)
+	lognormal := data.LognormalPaper(*n, *seed)
+	write(fmt.Sprintf("lognormal_%d.bin", *n), lognormal)
+	maybeTrace("lognormal", lognormal)
 
 	// String doc-ids, one per line.
 	spath := filepath.Join(*dir, fmt.Sprintf("docids_%d.txt", *n/10))

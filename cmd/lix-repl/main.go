@@ -21,10 +21,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"learnedindex/internal/cli"
 	"learnedindex/internal/core"
 	"learnedindex/internal/repl"
 	"learnedindex/internal/serve"
@@ -45,8 +44,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	stop := cli.Shutdown()
 
 	switch *mode {
 	case "primary":
@@ -59,7 +57,7 @@ func main() {
 	}
 }
 
-func runPrimary(dir, addr string, epoch uint64, rate int, seed int64, status time.Duration, metrics string, stop chan os.Signal) {
+func runPrimary(dir, addr string, epoch uint64, rate int, seed int64, status time.Duration, metrics string, stop <-chan struct{}) {
 	st, err := serve.Open(nil, core.Config{}, serve.Options{Dir: dir, MetricsAddr: metrics})
 	if err != nil {
 		fatal(err)
@@ -103,13 +101,13 @@ func runPrimary(dir, addr string, epoch uint64, rate int, seed int64, status tim
 		case <-tick.C:
 			fmt.Printf("primary: len=%d ingested=%d deposed=%v\n", st.Len(), ingested, prim.Deposed())
 		case <-stop:
-			fmt.Println("primary: shutting down")
+			fmt.Printf("primary: shutting down (len=%d ingested=%d)\n", st.Len(), ingested)
 			return
 		}
 	}
 }
 
-func runFollower(dir, addr string, status time.Duration, metrics string, stop chan os.Signal) {
+func runFollower(dir, addr string, status time.Duration, metrics string, stop <-chan struct{}) {
 	st, err := serve.OpenFollower(core.Config{}, serve.Options{Dir: dir, MetricsAddr: metrics},
 		repl.FollowerOptions{Addr: addr})
 	if err != nil {
@@ -127,7 +125,8 @@ func runFollower(dir, addr string, status time.Duration, metrics string, stop ch
 			fmt.Printf("follower: len=%d connected=%v applied=%d lag=%d epoch=%d reconnects=%d\n",
 				st.Len(), fs.Connected, fs.AppliedSeq, fs.LagFrames, fs.MaxEpoch, fs.Reconnects)
 		case <-stop:
-			fmt.Println("follower: shutting down")
+			fs, _ := st.FollowerStatus()
+			fmt.Printf("follower: shutting down (len=%d applied=%d epoch=%d)\n", st.Len(), fs.AppliedSeq, fs.MaxEpoch)
 			return
 		}
 	}

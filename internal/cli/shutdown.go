@@ -1,0 +1,37 @@
+// Package cli holds the small pieces shared by the lix-* command
+// binaries: signal-driven graceful shutdown with a force-exit escape
+// hatch.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Shutdown installs the interrupt handler every lix binary shares: the
+// returned channel closes on the first SIGINT/SIGTERM so the caller can
+// drain connections and close its stores cleanly; a second signal skips
+// the graceful path and force-exits with the conventional 128+SIGINT
+// status, because an operator hitting ctrl-C twice wants out now, not a
+// hung drain.
+func Shutdown() <-chan struct{} {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return shutdownFrom(sig, func(code int) { os.Exit(code) })
+}
+
+// shutdownFrom is Shutdown with the signal source and exit injected, so
+// the two-signal protocol is testable without delivering real signals.
+func shutdownFrom(sig <-chan os.Signal, exit func(int)) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-sig
+		close(done)
+		<-sig
+		fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+		exit(130)
+	}()
+	return done
+}

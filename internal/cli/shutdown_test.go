@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestShutdownTwoSignalProtocol(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	done := shutdownFrom(sig, func(code int) { exited <- code; select {} })
+
+	select {
+	case <-done:
+		t.Fatal("done closed before any signal")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	sig <- os.Interrupt
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("done not closed after first signal")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("force-exited (%d) after a single signal", code)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("force-exit status = %d, want 130", code)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second signal did not force-exit")
+	}
+}

@@ -400,6 +400,27 @@ func SampleExisting(ks Keys, m int, seed int64) []uint64 {
 	return out
 }
 
+// ZipfTraffic returns m probe keys drawn from ks under a Zipf popularity
+// law with exponent s (s > 1, clamped; larger = hotter head): ranks come
+// from the stdlib Zipf sampler and map to keys through a seeded
+// permutation, so the hot set is scattered across the key domain instead
+// of clustering at its low end. This is the skewed read traffic of
+// serving workloads — a small hot set dominates while the cold tail
+// decides p99 — and the -zipf mode of cmd/lix-datagen.
+func ZipfTraffic(ks Keys, m int, s float64, seed int64) []uint64 {
+	if s <= 1 {
+		s = 1.0001 // rand.NewZipf requires s > 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(len(ks)-1))
+	perm := rng.Perm(len(ks))
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = ks[perm[z.Uint64()]]
+	}
+	return out
+}
+
 // SampleMissing returns m keys drawn uniformly from the key domain that are
 // not present in ks, used to exercise lower-bound semantics for absent keys.
 func SampleMissing(ks Keys, m int, seed int64) []uint64 {

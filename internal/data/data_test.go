@@ -2,6 +2,7 @@ package data
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -290,4 +291,79 @@ func TestURLCorpusSeparable(t *testing.T) {
 			t.Fatalf("phishing URL %q missing http:// scheme", k)
 		}
 	}
+}
+
+func TestZipfTrafficShape(t *testing.T) {
+	ks := Uniform(20_000, 1<<40, 1)
+	const m = 100_000
+	trace := ZipfTraffic(ks, m, 1.3, 7)
+	if len(trace) != m {
+		t.Fatalf("got %d probes, want %d", len(trace), m)
+	}
+	if again := ZipfTraffic(ks, m, 1.3, 7); !slicesEqualU64(trace, again) {
+		t.Fatal("same seed produced a different trace")
+	}
+
+	freq := make(map[uint64]int)
+	for _, k := range trace {
+		if !ks.Contains(k) {
+			t.Fatalf("probe %d is not a dataset key", k)
+		}
+		freq[k]++
+	}
+	counts := make([]int, 0, len(freq))
+	hot := 0
+	var hotKey uint64
+	for k, c := range freq {
+		counts = append(counts, c)
+		if c > hot {
+			hot, hotKey = c, k
+		}
+	}
+	// Zipf s=1.3 over 20k ranks puts roughly a quarter of all traffic on
+	// rank 0; wide bounds keep the assertion about shape, not constants.
+	if got := float64(hot) / m; got < 0.10 || got > 0.60 {
+		t.Fatalf("hottest key carries %.1f%% of traffic, want 10-60%%", 100*got)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top10 := 0
+	for _, c := range counts[:10] {
+		top10 += c
+	}
+	if got := float64(top10) / m; got < 0.40 {
+		t.Fatalf("top-10 keys carry only %.1f%% of traffic", 100*got)
+	}
+
+	// The permutation must scatter the hot set: the single hottest key
+	// should not be pinned to the bottom of the sorted key array (rank 0
+	// of an unpermuted mapping would always be ks[0]).
+	if hotKey == ks[0] {
+		t.Fatal("hottest key is ks[0]: rank->key mapping looks unpermuted")
+	}
+
+	// Heavier exponent, heavier head.
+	flat := ZipfTraffic(ks, m, 1.05, 7)
+	flatFreq := make(map[uint64]int)
+	flatHot := 0
+	for _, k := range flat {
+		flatFreq[k]++
+		if flatFreq[k] > flatHot {
+			flatHot = flatFreq[k]
+		}
+	}
+	if flatHot >= hot {
+		t.Fatalf("s=1.05 head (%d) not flatter than s=1.3 head (%d)", flatHot, hot)
+	}
+}
+
+func slicesEqualU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"learnedindex/internal/obs"
 )
 
 // tiny returns laptop-CI-sized options with table rendering captured.
@@ -412,6 +414,25 @@ func TestReplShapeHolds(t *testing.T) {
 		}
 	}
 	if !strings.Contains(buf.String(), "WAL-shipping replication") {
+		t.Fatal("table not rendered")
+	}
+}
+
+func TestServingShapeHolds(t *testing.T) {
+	o, buf := tiny()
+	rows := Serving(o)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.NsPerOp <= 0 || r.Wall <= 0 || r.Ops <= 0 {
+			t.Errorf("%s: no measurement (%+v)", r.Name, r)
+		}
+	}
+	if obs.Enabled && (rows[0].P99Ns < rows[0].P50Ns || rows[0].P50Ns <= 0) {
+		t.Errorf("latency quantiles out of order: p50=%v p99=%v", rows[0].P50Ns, rows[0].P99Ns)
+	}
+	if !strings.Contains(buf.String(), "network serving") {
 		t.Fatal("table not rendered")
 	}
 }

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedindex/internal/bench"
+	"learnedindex/internal/core"
+	"learnedindex/internal/data"
+	"learnedindex/internal/obs"
+	"learnedindex/internal/repl"
+	"learnedindex/internal/router"
+	"learnedindex/internal/serve"
+	"learnedindex/internal/server"
+)
+
+// ServingRow is one measured reader/writer mix.
+type ServingRow struct {
+	Name    string
+	Ops     int           // keys processed (reads + routed inserts)
+	Wall    time.Duration // best round
+	NsPerOp float64       // wall / keys — the gated number
+	P50Ns   float64       // per-RPC wire latency, best round
+	P99Ns   float64
+}
+
+// Serving is the mixed-workload load harness over the network serving
+// plane: a three-node range-partitioned cluster behind real TCP wire
+// servers, driven through the internal/router client by concurrent
+// workers replaying Zipf hot-key read traffic mixed with routed insert
+// batches. Each mix reports end-to-end ns per key (wall over keys moved,
+// the regression-gated floor) plus the p50/p99 of individual router
+// calls sampled into an obs histogram (extras — informational, since
+// tail latency on a shared CI runner is noise).
+//
+// Node stores are in-memory: the row should price the wire, the fan-out,
+// and the serving layer, not three fsync streams — the repl and
+// writepath experiments own the durability floor. Reads and writes ride
+// the identical code paths a persistent cluster would.
+func Serving(o Options) []ServingRow {
+	o = o.withDefaults()
+	rep := &bench.Report{Experiment: "serving", N: o.N, Probes: o.Probes}
+
+	keys := o.N / 10
+	if keys < 5_000 {
+		keys = 5_000
+	}
+	base := data.Uniform(keys, 1<<40, o.Seed)
+
+	mixes := []struct {
+		name      string
+		writeFrac float64
+	}{
+		{"read-only/zipf", 0},
+		{"read-mostly/5w", 0.05},
+		{"mixed/50w", 0.50},
+	}
+
+	var rows []ServingRow
+	for _, mix := range mixes {
+		var best ServingRow
+		for r := 0; r < o.Rounds; r++ {
+			row := servingRound(o, base, mix.name, mix.writeFrac, r)
+			if best.Wall == 0 || row.Wall < best.Wall {
+				best = row
+			}
+		}
+		rows = append(rows, best)
+		rep.Add(bench.ReportRow{
+			Config:  best.Name,
+			NsPerOp: best.NsPerOp,
+			Extra: map[string]float64{
+				"wall_ms": float64(best.Wall.Microseconds()) / 1000,
+				"p50_ns":  best.P50Ns,
+				"p99_ns":  best.P99Ns,
+			},
+		})
+	}
+
+	t := &bench.Table{
+		Title: fmt.Sprintf("network serving: 3-node TCP cluster, %d keys, 4 workers, %d rounds (best round)",
+			keys, o.Rounds),
+		Headers: []string{"Mix", "Keys moved", "Wall (ms)", "ns/key", "RPC p50 (µs)", "RPC p99 (µs)"},
+	}
+	for _, row := range rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%d", row.Ops),
+			fmt.Sprintf("%.2f", float64(row.Wall.Microseconds())/1000),
+			fmt.Sprintf("%.0f", row.NsPerOp),
+			fmt.Sprintf("%.1f", row.P50Ns/1000),
+			fmt.Sprintf("%.1f", row.P99Ns/1000))
+	}
+	render(o, t)
+	emitJSON(o, rep)
+	return rows
+}
+
+// servingRound runs one mix once against a fresh cluster and reports its
+// wall time and latency quantiles.
+func servingRound(o Options, base data.Keys, name string, writeFrac float64, round int) ServingRow {
+	const workers = 4
+	const batch = 64
+
+	fences := []uint64{base[len(base)/3], base[2*len(base)/3]}
+	runs := [][2]int{
+		{0, base.LowerBound(fences[0])},
+		{base.LowerBound(fences[0]), base.LowerBound(fences[1])},
+		{base.LowerBound(fences[1]), len(base)},
+	}
+	var nodes []router.Node
+	var servers []*server.Server
+	var stores []*serve.Store
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	for _, run := range runs {
+		st := serve.New(append([]uint64(nil), base[run[0]:run[1]]...), core.Config{}, serve.Options{Shards: 2})
+		stores = append(stores, st)
+		srv := server.NewServer(st, server.Options{})
+		if err := srv.Serve(repl.TCP, "127.0.0.1:0"); err != nil {
+			panic(fmt.Sprintf("serving experiment: %v", err))
+		}
+		servers = append(servers, srv)
+		nodes = append(nodes, router.Node{Addr: srv.Addr()})
+	}
+	rt, err := router.New(nodes, router.Options{Fences: fences})
+	if err != nil {
+		panic(fmt.Sprintf("serving experiment: %v", err))
+	}
+	defer rt.Close()
+
+	// Per-worker traffic, fixed before the clock starts: a Zipf hot-key
+	// read trace and a disjoint fresh-key write stream (above the read
+	// domain, so inserts never disturb the probes' answers mid-round).
+	batches := o.Probes / (workers * batch)
+	if batches < 4 {
+		batches = 4
+	}
+	seed := o.Seed + int64(round)*1000
+	traces := make([][]uint64, workers)
+	writes := make([][]uint64, workers)
+	isWrite := make([][]bool, workers)
+	for w := 0; w < workers; w++ {
+		traces[w] = data.ZipfTraffic(base, batches*batch, 1.2, seed+int64(w))
+		writes[w] = make([]uint64, batches*batch)
+		isWrite[w] = make([]bool, batches)
+		rng := newSplitMix(uint64(seed) + uint64(w)*7919)
+		for i := range writes[w] {
+			writes[w][i] = (1 << 41) + rng()%(1<<40)
+		}
+		for i := range isWrite[w] {
+			isWrite[w][i] = writeFrac > 0 && float64(rng()%1024)/1024 < writeFrac
+		}
+	}
+
+	hist := obs.NewHistogram()
+	var ops atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				lo, hi := b*batch, (b+1)*batch
+				t0 := time.Now()
+				if isWrite[w][b] {
+					if err := rt.InsertDurable(writes[w][lo:hi]...); err != nil {
+						panic(fmt.Sprintf("serving experiment: insert: %v", err))
+					}
+				} else {
+					if _, err := rt.LookupBatch(traces[w][lo:hi]); err != nil {
+						panic(fmt.Sprintf("serving experiment: lookup: %v", err))
+					}
+				}
+				hist.ObserveDuration(time.Since(t0))
+				ops.Add(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap := hist.Snapshot()
+	n := int(ops.Load())
+	return ServingRow{
+		Name:    name,
+		Ops:     n,
+		Wall:    wall,
+		NsPerOp: float64(wall.Nanoseconds()) / float64(n),
+		P50Ns:   snap.Quantile(0.50),
+		P99Ns:   snap.Quantile(0.99),
+	}
+}
+
+// newSplitMix is a tiny deterministic PRNG (splitmix64) so trace
+// construction does not depend on math/rand ordering across workers.
+func newSplitMix(s uint64) func() uint64 {
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

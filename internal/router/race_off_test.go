@@ -1,0 +1,5 @@
+//go:build !race
+
+package router
+
+const raceEnabled = false

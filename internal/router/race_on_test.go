@@ -1,0 +1,9 @@
+//go:build race
+
+package router
+
+// raceEnabled reports that this binary was built with the race detector;
+// the chaos oracle trims its seed matrix there (each trial runs a whole
+// three-node cluster — full matrices belong to the uninstrumented run,
+// one schedule per mode proves race-freedom).
+const raceEnabled = true

@@ -1,0 +1,752 @@
+// Package router is the client half of the network serving plane: a
+// range-partitioned view over several lix-server nodes. It owns a key→node
+// range map (fence keys, exactly like serve.Store's shard bounds), splits
+// each probe batch across nodes the way internal/serve splits across
+// shards — sort once, slice by fence — fans the per-node sub-batches out
+// concurrently over the wire, and merges the answers back into probe
+// order. Range reads prune nodes whose fences cannot intersect the range
+// (the data-skipping idea applied at the partition level), and cross-node
+// scans merge per-node pages through internal/scan's loser tree.
+//
+// Reads can optionally be served by replication followers (PR 9) with a
+// bounded staleness: a follower is eligible only while a fresh Status RPC
+// shows it connected and at most MaxFollowerLag frames behind its primary.
+//
+// Every RPC the router issues is idempotent — reads trivially, durable
+// inserts by set semantics — so transport faults are retried with backoff
+// against a fresh connection. Store-level errors (server.RemoteError) are
+// deterministic and surface immediately.
+package router
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnedindex/internal/repl"
+	"learnedindex/internal/server"
+)
+
+// Node describes one partition: the primary server address plus optional
+// follower addresses eligible for bounded-staleness reads.
+type Node struct {
+	Addr      string
+	Followers []string
+}
+
+// Options tunes a Router. Transport and the fence set for the router's key
+// mode are the load-bearing fields; everything else has defaults.
+type Options struct {
+	// Transport carries every connection (default repl.TCP). Tests pass
+	// the in-memory or fault-injecting transport.
+	Transport repl.Transport
+	// StringKeys fixes the router's key mode, which must match every
+	// node's store mode (the handshake enforces it per connection).
+	StringKeys bool
+	// Fences are the len(nodes)-1 ascending split keys of a uint64
+	// router: node i owns [Fences[i-1], Fences[i]), with the first node
+	// open below and the last open above — serve.Store's shard bounds,
+	// one level up.
+	Fences []uint64
+	// FencesStr are the split keys of a string router.
+	FencesStr []string
+	// RetryAttempts is how many times a single RPC is tried against
+	// fresh connections before the error surfaces (default 8).
+	RetryAttempts int
+	// RetryBackoff is the first retry delay; it doubles per attempt and
+	// is capped at 250ms (default 2ms).
+	RetryBackoff time.Duration
+	// ClientTimeout bounds each RPC end to end (server.ClientOptions).
+	ClientTimeout time.Duration
+	// ReadFollowers lets read RPCs hit follower endpoints whose cached
+	// status is fresh, connected, and within MaxFollowerLag frames of
+	// the primary. Writes always go to the primary.
+	ReadFollowers bool
+	// MaxFollowerLag is the largest LagFrames a follower may report and
+	// still serve reads (default 0: only fully caught-up followers).
+	MaxFollowerLag uint64
+	// StatusRefresh is how long a follower's status check stays fresh
+	// (default 250ms) — the staleness bound on the eligibility decision,
+	// on top of the lag bound itself.
+	StatusRefresh time.Duration
+	// ScanPageKeys is the page size of cross-node scans (default 4096).
+	ScanPageKeys int
+	// PoolSize caps idle pooled connections per endpoint (default 8).
+	PoolSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Transport == nil {
+		o.Transport = repl.TCP
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 8
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.StatusRefresh <= 0 {
+		o.StatusRefresh = 250 * time.Millisecond
+	}
+	if o.ScanPageKeys <= 0 {
+		o.ScanPageKeys = 4096
+	}
+	if o.ScanPageKeys > 1<<16 {
+		o.ScanPageKeys = 1 << 16
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 8
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the router's own counters — the
+// client-side mirror of the server's lix_server_* series.
+type Stats struct {
+	// RPCs counts every RPC issued (including retried attempts' first
+	// tries; each do() call counts each attempt).
+	RPCs int64
+	// Retries counts RPC attempts after the first.
+	Retries int64
+	// Batches counts batch operations (lookup/contains/insert/count/scan).
+	Batches int64
+	// FanoutBatches counts batches that touched two or more nodes.
+	FanoutBatches int64
+	// PrunedNodes counts node contacts skipped because the node's fence
+	// range could not intersect the operation.
+	PrunedNodes int64
+	// FollowerReads counts read RPC groups routed to a follower endpoint.
+	FollowerReads int64
+	// NodeRPCs is RPCs broken down by node index.
+	NodeRPCs []int64
+}
+
+// Router is a range-partitioned client over several servers. Safe for
+// concurrent use: every operation acquires connections from per-endpoint
+// pools.
+type Router struct {
+	opt   Options
+	nodes []*node
+
+	rpcs, retries, batches, fanout atomic.Int64
+	pruned, followerReads          atomic.Int64
+	nodeRPCs                       []atomic.Int64
+}
+
+type node struct {
+	primary   *endpoint
+	followers []*endpoint
+}
+
+// endpoint is one dialable address plus its idle-connection pool and (for
+// followers) the cached status that gates read eligibility.
+type endpoint struct {
+	rt   *Router
+	addr string
+	idx  int // owning node index, for per-node stats
+
+	mu       sync.Mutex
+	idle     []*server.Client
+	status   server.Status
+	statusAt time.Time
+	statusOK bool
+}
+
+// New builds a router over nodes. The fence set for the configured key
+// mode must hold exactly len(nodes)-1 strictly ascending keys.
+func New(nodes []Node, opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	if len(nodes) == 0 {
+		return nil, errors.New("router: no nodes")
+	}
+	if opt.StringKeys {
+		if len(opt.FencesStr) != len(nodes)-1 {
+			return nil, fmt.Errorf("router: %d nodes need %d string fences, have %d", len(nodes), len(nodes)-1, len(opt.FencesStr))
+		}
+		if !ascending(opt.FencesStr) {
+			return nil, errors.New("router: string fences not strictly ascending")
+		}
+	} else {
+		if len(opt.Fences) != len(nodes)-1 {
+			return nil, fmt.Errorf("router: %d nodes need %d fences, have %d", len(nodes), len(nodes)-1, len(opt.Fences))
+		}
+		if !ascending(opt.Fences) {
+			return nil, errors.New("router: fences not strictly ascending")
+		}
+	}
+	r := &Router{opt: opt, nodeRPCs: make([]atomic.Int64, len(nodes))}
+	for i, n := range nodes {
+		nd := &node{primary: &endpoint{rt: r, addr: n.Addr, idx: i}}
+		for _, f := range n.Followers {
+			nd.followers = append(nd.followers, &endpoint{rt: r, addr: f, idx: i})
+		}
+		r.nodes = append(r.nodes, nd)
+	}
+	return r, nil
+}
+
+func ascending[K cmp.Ordered](s []K) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close drops every pooled connection. In-flight operations on other
+// goroutines fail their current attempt and redial (which may succeed);
+// Close is for teardown, not fencing.
+func (r *Router) Close() error {
+	for _, n := range r.nodes {
+		n.primary.drain()
+		for _, f := range n.followers {
+			f.drain()
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		RPCs:          r.rpcs.Load(),
+		Retries:       r.retries.Load(),
+		Batches:       r.batches.Load(),
+		FanoutBatches: r.fanout.Load(),
+		PrunedNodes:   r.pruned.Load(),
+		FollowerReads: r.followerReads.Load(),
+		NodeRPCs:      make([]int64, len(r.nodeRPCs)),
+	}
+	for i := range r.nodeRPCs {
+		s.NodeRPCs[i] = r.nodeRPCs[i].Load()
+	}
+	return s
+}
+
+func (e *endpoint) drain() {
+	e.mu.Lock()
+	idle := e.idle
+	e.idle = nil
+	e.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+func (e *endpoint) acquire() (*server.Client, error) {
+	e.mu.Lock()
+	if n := len(e.idle); n > 0 {
+		c := e.idle[n-1]
+		e.idle = e.idle[:n-1]
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+	return server.Dial(e.rt.opt.Transport, e.addr, e.rt.opt.StringKeys,
+		server.ClientOptions{Timeout: e.rt.opt.ClientTimeout})
+}
+
+func (e *endpoint) release(c *server.Client) {
+	e.mu.Lock()
+	if len(e.idle) < e.rt.opt.PoolSize {
+		e.idle = append(e.idle, c)
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+// do runs one RPC against the endpoint, retrying transport faults with
+// backoff against a fresh connection each time. Safe because every router
+// RPC is idempotent. A store-level RemoteError is deterministic — it
+// surfaces immediately with the connection kept.
+func (e *endpoint) do(fn func(*server.Client) error) error {
+	backoff := e.rt.opt.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < e.rt.opt.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			e.rt.retries.Add(1)
+			time.Sleep(backoff)
+			if backoff < 250*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		c, err := e.acquire()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		e.rt.rpcs.Add(1)
+		e.rt.nodeRPCs[e.idx].Add(1)
+		if err = fn(c); err == nil {
+			e.release(c)
+			return nil
+		}
+		var re *server.RemoteError
+		if errors.As(err, &re) {
+			e.release(c)
+			return err
+		}
+		c.Close()
+		lastErr = err
+	}
+	return fmt.Errorf("router: %s: %w", e.addr, lastErr)
+}
+
+// readEndpoint picks where a read RPC for node n goes: a lag-bounded
+// follower when allowed and available, else the primary.
+func (r *Router) readEndpoint(n *node) *endpoint {
+	if !r.opt.ReadFollowers {
+		return n.primary
+	}
+	for _, f := range n.followers {
+		if f.freshFollower() {
+			r.followerReads.Add(1)
+			return f
+		}
+	}
+	return n.primary
+}
+
+// freshFollower reports whether the endpoint's status — refreshed over the
+// wire when older than StatusRefresh — shows a connected follower within
+// MaxFollowerLag frames of its primary.
+func (e *endpoint) freshFollower() bool {
+	e.mu.Lock()
+	fresh := e.statusOK && time.Since(e.statusAt) < e.rt.opt.StatusRefresh
+	st := e.status
+	e.mu.Unlock()
+	if !fresh {
+		var got server.Status
+		err := e.do(func(c *server.Client) error {
+			var err error
+			got, err = c.StatusRPC()
+			return err
+		})
+		e.mu.Lock()
+		e.statusOK = err == nil
+		e.statusAt = time.Now()
+		if err == nil {
+			e.status = got
+		}
+		st = e.status
+		fresh = e.statusOK
+		e.mu.Unlock()
+		if !fresh {
+			return false
+		}
+	}
+	return st.Follower && st.Connected && st.LagFrames <= e.rt.opt.MaxFollowerLag
+}
+
+// ---- batch splitting (serve's sort-once, slice-by-fence, one level up) ----
+
+// sortWithPerm returns the probes in ascending order plus the permutation
+// mapping sorted index back to probe index, mirroring serve.sortProbes.
+func sortWithPerm[K cmp.Ordered](probes []K) (sorted []K, perm []int32) {
+	perm = make([]int32, len(probes))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return probes[perm[a]] < probes[perm[b]] })
+	sorted = make([]K, len(probes))
+	for i, p := range perm {
+		sorted[i] = probes[p]
+	}
+	return sorted, perm
+}
+
+func lowerBound[K cmp.Ordered](s []K, key K) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= key })
+}
+
+// splitRuns slices sorted into one contiguous [start, end) run per node:
+// run i holds the keys node i owns under fences. Empty runs mean the node
+// is not involved (and range reads skip it).
+func splitRuns[K cmp.Ordered](sorted, fences []K) [][2]int {
+	runs := make([][2]int, len(fences)+1)
+	start := 0
+	for i, f := range fences {
+		end := start + lowerBound(sorted[start:], f)
+		runs[i] = [2]int{start, end}
+		start = end
+	}
+	runs[len(fences)] = [2]int{start, len(sorted)}
+	return runs
+}
+
+// tallyFanout bumps the batch counters: every operation is a batch, one
+// touching ≥2 nodes is a fan-out, and untouched nodes count as pruned
+// when pruned is true (range reads skip them; lookups must still fetch
+// every node's length).
+func (r *Router) tallyFanout(contacted, total int, pruned bool) {
+	r.batches.Add(1)
+	if contacted >= 2 {
+		r.fanout.Add(1)
+	}
+	if pruned && total > contacted {
+		r.pruned.Add(int64(total - contacted))
+	}
+}
+
+// ---- uint64 operations ----
+
+// LookupBatch answers the global lower-bound position of every probe, in
+// probe order, over the partitioned keyspace: each node reports positions
+// local to its partition plus its length, and the router adds the prefix
+// sum of preceding node lengths — the cross-node version of how a store
+// sums shard snapshot lengths. Every node is contacted (a probe-less node
+// still contributes its length to the offsets).
+func (r *Router) LookupBatch(probes []uint64) ([]int, error) {
+	r.mustU64()
+	sorted, perm := sortWithPerm(probes)
+	runs := splitRuns(sorted, r.opt.Fences)
+	lens := make([]int, len(r.nodes))
+	posPer := make([][]int, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] > runs[i][0] {
+			contacted++
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := sorted[runs[i][0]:runs[i][1]]
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				pos, n, err := c.LookupBatch(sub)
+				if err == nil {
+					posPer[i], lens[i] = pos, n
+				}
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), false)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probes))
+	off := 0
+	for i, run := range runs {
+		for j, p := range posPer[i] {
+			out[perm[run[0]+j]] = p + off
+		}
+		off += lens[i]
+	}
+	return out, nil
+}
+
+// ContainsBatch answers Contains for every probe in probe order. Only the
+// nodes owning at least one probe are contacted.
+func (r *Router) ContainsBatch(probes []uint64) ([]bool, error) {
+	r.mustU64()
+	sorted, perm := sortWithPerm(probes)
+	runs := splitRuns(sorted, r.opt.Fences)
+	out := make([]bool, len(probes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] == runs[i][0] {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := runs[i]
+			sub := sorted[run[0]:run[1]]
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				bs, err := c.ContainsBatch(sub)
+				if err != nil {
+					return err
+				}
+				for j, b := range bs {
+					out[perm[run[0]+j]] = b
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InsertDurable routes each key to its owner node's group-commit durable
+// write path; nil means every key is fsync-durable on its node. Duplicate
+// keys are no-ops (set semantics), so a partially failed call is safe to
+// retry verbatim.
+func (r *Router) InsertDurable(keys ...uint64) error {
+	r.mustU64()
+	sorted, _ := sortWithPerm(keys)
+	runs := splitRuns(sorted, r.opt.Fences)
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] == runs[i][0] {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := sorted[runs[i][0]:runs[i][1]]
+			errs[i] = r.nodes[i].primary.do(func(c *server.Client) error {
+				return c.Insert(sub)
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	return errors.Join(errs...)
+}
+
+// CountRange returns the exact number of keys in [lo, hi) by summing
+// per-node counts over the range clipped to each node's fences; nodes
+// whose range cannot intersect are never contacted.
+func (r *Router) CountRange(lo, hi uint64) (int, error) {
+	r.mustU64()
+	if hi <= lo {
+		r.batches.Add(1)
+		return 0, nil
+	}
+	counts := make([]int, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		clo, chi, ok := clipRange(lo, hi, r.opt.Fences, i)
+		if !ok {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int, clo, chi uint64) {
+			defer wg.Done()
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				n, err := c.CountRange(clo, chi, true)
+				if err == nil {
+					counts[i] = n
+				}
+				return err
+			})
+		}(i, clo, chi)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// clipRange intersects [lo, hi) with node i's fence range, reporting ok
+// when the intersection is non-empty.
+func clipRange[K cmp.Ordered](lo, hi K, fences []K, i int) (K, K, bool) {
+	if i > 0 && fences[i-1] > lo {
+		lo = fences[i-1]
+	}
+	if i < len(fences) && fences[i] < hi {
+		hi = fences[i]
+	}
+	return lo, hi, lo < hi
+}
+
+func (r *Router) mustU64() {
+	if r.opt.StringKeys {
+		panic("router: uint64 operation on a string-keyed router")
+	}
+}
+
+func (r *Router) mustStr() {
+	if !r.opt.StringKeys {
+		panic("router: string operation on a uint64-keyed router")
+	}
+}
+
+// ---- string operations (twins, mirroring serve.Store's mode split) ----
+
+// LookupBatchString is LookupBatch for a string-keyed router.
+func (r *Router) LookupBatchString(probes []string) ([]int, error) {
+	r.mustStr()
+	sorted, perm := sortWithPerm(probes)
+	runs := splitRuns(sorted, r.opt.FencesStr)
+	lens := make([]int, len(r.nodes))
+	posPer := make([][]int, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] > runs[i][0] {
+			contacted++
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := sorted[runs[i][0]:runs[i][1]]
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				pos, n, err := c.LookupBatchString(sub)
+				if err == nil {
+					posPer[i], lens[i] = pos, n
+				}
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), false)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probes))
+	off := 0
+	for i, run := range runs {
+		for j, p := range posPer[i] {
+			out[perm[run[0]+j]] = p + off
+		}
+		off += lens[i]
+	}
+	return out, nil
+}
+
+// ContainsBatchString is ContainsBatch for a string-keyed router.
+func (r *Router) ContainsBatchString(probes []string) ([]bool, error) {
+	r.mustStr()
+	sorted, perm := sortWithPerm(probes)
+	runs := splitRuns(sorted, r.opt.FencesStr)
+	out := make([]bool, len(probes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] == runs[i][0] {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := runs[i]
+			sub := sorted[run[0]:run[1]]
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				bs, err := c.ContainsBatchString(sub)
+				if err != nil {
+					return err
+				}
+				for j, b := range bs {
+					out[perm[run[0]+j]] = b
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InsertDurableString is InsertDurable for a string-keyed router.
+func (r *Router) InsertDurableString(keys ...string) error {
+	r.mustStr()
+	sorted, _ := sortWithPerm(keys)
+	runs := splitRuns(sorted, r.opt.FencesStr)
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		if runs[i][1] == runs[i][0] {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := sorted[runs[i][0]:runs[i][1]]
+			errs[i] = r.nodes[i].primary.do(func(c *server.Client) error {
+				return c.InsertString(sub)
+			})
+		}(i)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	return errors.Join(errs...)
+}
+
+// CountRangeString is CountRange for a string-keyed router.
+func (r *Router) CountRangeString(lo, hi string) (int, error) {
+	r.mustStr()
+	if hi <= lo {
+		r.batches.Add(1)
+		return 0, nil
+	}
+	return r.countStr(lo, hi, true)
+}
+
+// CountFromString counts every key >= lo.
+func (r *Router) CountFromString(lo string) (int, error) {
+	r.mustStr()
+	return r.countStr(lo, "", false)
+}
+
+func (r *Router) countStr(lo, hi string, bounded bool) (int, error) {
+	counts := make([]int, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	contacted := 0
+	for i := range r.nodes {
+		clo := lo
+		if i > 0 && r.opt.FencesStr[i-1] > clo {
+			clo = r.opt.FencesStr[i-1]
+		}
+		chi, cbounded := hi, bounded
+		if i < len(r.opt.FencesStr) && (!cbounded || r.opt.FencesStr[i] < chi) {
+			chi, cbounded = r.opt.FencesStr[i], true
+		}
+		if cbounded && clo >= chi {
+			continue
+		}
+		contacted++
+		wg.Add(1)
+		go func(i int, clo, chi string, cbounded bool) {
+			defer wg.Done()
+			errs[i] = r.readEndpoint(r.nodes[i]).do(func(c *server.Client) error {
+				n, err := c.CountRangeString(clo, chi, cbounded)
+				if err == nil {
+					counts[i] = n
+				}
+				return err
+			})
+		}(i, clo, chi, cbounded)
+	}
+	wg.Wait()
+	r.tallyFanout(contacted, len(r.nodes), true)
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,221 @@
+package router
+
+import (
+	"cmp"
+	"math"
+
+	"learnedindex/internal/scan"
+	"learnedindex/internal/server"
+)
+
+// remoteCursor adapts one node's paged Scan RPC to scan.Cursor, so the
+// same loser tree that merges shard snapshots inside a store merges node
+// streams across the wire. Each page fetch goes through the endpoint's
+// retrying do(), and the first unrecoverable error lands in errp — the
+// cursor then reports exhausted, and the scan surfaces the error via Err.
+type remoteCursor[K cmp.Ordered] struct {
+	fetch func(from K, limit int) ([]K, bool, error)
+	succ  func(K) (K, bool)
+	limit int
+	errp  *error
+
+	page []K
+	i    int
+	more bool
+}
+
+func (c *remoteCursor[K]) load(from K) {
+	c.i = 0
+	if *c.errp != nil {
+		c.page, c.more = nil, false
+		return
+	}
+	page, more, err := c.fetch(from, c.limit)
+	if err != nil {
+		if *c.errp == nil {
+			*c.errp = err
+		}
+		c.page, c.more = nil, false
+		return
+	}
+	c.page, c.more = page, more
+}
+
+func (c *remoteCursor[K]) Seek(key K) bool {
+	c.load(key)
+	return c.i < len(c.page)
+}
+
+func (c *remoteCursor[K]) Next() bool {
+	c.i++
+	if c.i < len(c.page) {
+		return true
+	}
+	if !c.more || len(c.page) == 0 {
+		return false
+	}
+	from, ok := c.succ(c.page[len(c.page)-1])
+	if !ok {
+		return false
+	}
+	c.load(from)
+	return c.i < len(c.page)
+}
+
+func (c *remoteCursor[K]) Key() K { return c.page[c.i] }
+
+func (c *remoteCursor[K]) Release() { c.page = nil }
+
+// RangeScan streams a cross-node merged scan in ascending key order. The
+// zero of Err must be checked after iteration: a node that stayed
+// unreachable past the retry budget ends the stream early with the cause
+// here rather than silently truncating.
+type RangeScan[K cmp.Ordered] struct {
+	it  *scan.Iterator[K]
+	err error
+}
+
+// Next advances to the next key, reporting whether one exists. After a
+// transport failure it returns false immediately — check Err.
+func (s *RangeScan[K]) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	return s.it.Next()
+}
+
+// Key returns the current key; valid only after a true Next.
+func (s *RangeScan[K]) Key() K { return s.it.Key() }
+
+// Err returns the first per-node failure, if any.
+func (s *RangeScan[K]) Err() error { return s.err }
+
+// Close releases the merge iterator and its cursors.
+func (s *RangeScan[K]) Close() { s.it.Close() }
+
+// Scan streams every key in [lo, hi) across all nodes in ascending order,
+// merging per-node pages through the loser tree. Nodes whose fence range
+// cannot intersect [lo, hi) are pruned. Check Err after the stream ends.
+func (r *Router) Scan(lo, hi uint64) *RangeScan[uint64] {
+	r.mustU64()
+	rs := &RangeScan[uint64]{it: scan.Get[uint64]()}
+	contacted := 0
+	for i := range r.nodes {
+		clo, chi, ok := clipRange(lo, hi, r.opt.Fences, i)
+		if !ok {
+			continue
+		}
+		contacted++
+		ep := r.readEndpoint(r.nodes[i])
+		cur := &remoteCursor[uint64]{
+			limit: r.opt.ScanPageKeys,
+			errp:  &rs.err,
+			succ: func(k uint64) (uint64, bool) {
+				if k == math.MaxUint64 {
+					return 0, false
+				}
+				return k + 1, true
+			},
+		}
+		cur.fetch = func(from uint64, limit int) ([]uint64, bool, error) {
+			if from < clo {
+				from = clo
+			}
+			var page []uint64
+			var more bool
+			err := ep.do(func(c *server.Client) error {
+				var e error
+				page, more, e = c.Scan(from, chi, true, limit)
+				return e
+			})
+			return page, more, err
+		}
+		rs.it.Add(cur)
+	}
+	r.tallyFanout(contacted, len(r.nodes), true)
+	rs.it.Start(lo, hi, nil)
+	return rs
+}
+
+// ScanBatch appends every key in [lo, hi) to dst in ascending order and
+// returns it, or the first node failure.
+func (r *Router) ScanBatch(lo, hi uint64, dst []uint64) ([]uint64, error) {
+	s := r.Scan(lo, hi)
+	defer s.Close()
+	for s.Next() {
+		dst = append(dst, s.Key())
+	}
+	return dst, s.Err()
+}
+
+// ScanString streams every key in [lo, hi) of a string-keyed router.
+func (r *Router) ScanString(lo, hi string) *RangeScan[string] {
+	r.mustStr()
+	return r.scanStr(lo, hi, true)
+}
+
+// ScanStringFrom streams every key >= lo of a string-keyed router.
+func (r *Router) ScanStringFrom(lo string) *RangeScan[string] {
+	r.mustStr()
+	return r.scanStr(lo, "", false)
+}
+
+func (r *Router) scanStr(lo, hi string, bounded bool) *RangeScan[string] {
+	rs := &RangeScan[string]{it: scan.Get[string]()}
+	contacted := 0
+	for i := range r.nodes {
+		clo := lo
+		if i > 0 && r.opt.FencesStr[i-1] > clo {
+			clo = r.opt.FencesStr[i-1]
+		}
+		chi, cbounded := hi, bounded
+		if i < len(r.opt.FencesStr) && (!cbounded || r.opt.FencesStr[i] < chi) {
+			chi, cbounded = r.opt.FencesStr[i], true
+		}
+		if cbounded && clo >= chi {
+			continue
+		}
+		contacted++
+		ep := r.readEndpoint(r.nodes[i])
+		cur := &remoteCursor[string]{
+			limit: r.opt.ScanPageKeys,
+			errp:  &rs.err,
+			// The successor of a string under lower-bound resume is the
+			// same string with a NUL appended: the smallest strictly
+			// greater key.
+			succ: func(k string) (string, bool) { return k + "\x00", true },
+		}
+		cur.fetch = func(from string, limit int) ([]string, bool, error) {
+			if from < clo {
+				from = clo
+			}
+			var page []string
+			var more bool
+			err := ep.do(func(c *server.Client) error {
+				var e error
+				page, more, e = c.ScanString(from, chi, cbounded, limit)
+				return e
+			})
+			return page, more, err
+		}
+		rs.it.Add(cur)
+	}
+	r.tallyFanout(contacted, len(r.nodes), true)
+	if bounded {
+		rs.it.Start(lo, hi, nil)
+	} else {
+		rs.it.StartFrom(lo, nil)
+	}
+	return rs
+}
+
+// ScanBatchString appends every key in [lo, hi) to dst in ascending order
+// and returns it, or the first node failure.
+func (r *Router) ScanBatchString(lo, hi string, dst []string) ([]string, error) {
+	s := r.ScanString(lo, hi)
+	defer s.Close()
+	for s.Next() {
+		dst = append(dst, s.Key())
+	}
+	return dst, s.Err()
+}

@@ -1010,6 +1010,12 @@ func (s *Store) Metrics() *obs.Snapshot { return s.reg.Snapshot() }
 // their own metrics or collectors on the same export plane.
 func (s *Store) Registry() *obs.Registry { return s.reg }
 
+// StringKeys reports the store's key mode: true for a NewString/OpenString
+// store (string methods valid), false for a uint64 store. Embedders that
+// front the store generically — the network server, for one — use it to
+// pick the right method family instead of guessing and panicking.
+func (s *Store) StringKeys() bool { return s.strKeys }
+
 // DebugAddr returns the bound address of the Options.MetricsAddr debug
 // listener ("host:port", useful with a ":0" request), or "" when none was
 // started.

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"learnedindex/internal/repl"
+)
+
+// RemoteError is a store-level failure relayed over a healthy connection
+// (for example a durable insert refused by a read-only follower). The
+// connection remains usable; retrying the same request will fail the same
+// way, so callers should not treat it like a transport fault.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: remote: " + e.Msg }
+
+// Status is the server's replication/status snapshot (the Status RPC).
+type Status struct {
+	// Follower is true when the served store replays a primary rather
+	// than accepting writes.
+	Follower bool
+	// Connected, AppliedSeq, PrimaryDurableSeq, LagFrames, and MaxEpoch
+	// mirror repl.FollowerStatus; all zero on a primary.
+	Connected         bool
+	AppliedSeq        uint64
+	PrimaryDurableSeq uint64
+	LagFrames         uint64
+	MaxEpoch          uint64
+	// Len is the store's visible key count at the time of the request.
+	Len int
+}
+
+// ClientOptions tunes a Client. The zero value is ready to use.
+type ClientOptions struct {
+	// Timeout bounds each RPC end to end (default 30s), enforced — like
+	// every deadline on this transport seam — by a watchdog that closes
+	// the connection.
+	Timeout time.Duration
+}
+
+// Client is one wire connection to a Server. It is NOT safe for concurrent
+// use: the protocol is strict request/response, so callers that want
+// parallelism hold several clients (the router keeps a pool per node).
+type Client struct {
+	c        repl.Conn
+	strMode  bool
+	follower bool
+	timeout  time.Duration
+
+	rbuf, wbuf []byte
+	req, resp  wmsg
+}
+
+var errMode = errors.New("server: method does not match the client's key mode")
+
+// Dial connects to a server at addr over t and performs the handshake.
+// strMode must match the served store's key mode; a mismatch is a handshake
+// error, not a latent panic.
+func Dial(t repl.Transport, addr string, strMode bool, opt ClientOptions) (*Client, error) {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	conn, err := t.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		c:       conn,
+		strMode: strMode,
+		timeout: opt.Timeout,
+		rbuf:    make([]byte, 0, 4096),
+		wbuf:    make([]byte, 0, 4096),
+	}
+	c.req = wmsg{kind: msgHello, strMode: strMode}
+	resp, err := c.rpc(&c.req, msgServerHello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.strMode != strMode {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake key-mode mismatch")
+	}
+	c.follower = resp.follower
+	return c, nil
+}
+
+// Follower reports whether the remote store is a replication follower
+// (read-only over this protocol), as learned at the handshake.
+func (c *Client) Follower() bool { return c.follower }
+
+// Close severs the connection. Safe to call twice.
+func (c *Client) Close() error { return c.c.Close() }
+
+// rpc writes one request and reads its one response, bounded end to end by
+// the client timeout (watchdog close, not a deadline). A msgErr response
+// surfaces as *RemoteError with the connection still usable; any other
+// failure means the connection is broken and the caller should Close.
+func (c *Client) rpc(req *wmsg, wantKind byte) (*wmsg, error) {
+	wd := time.AfterFunc(c.timeout, func() { c.c.Close() })
+	defer wd.Stop()
+	if err := writeWmsg(c.c, &c.wbuf, req); err != nil {
+		return nil, err
+	}
+	if err := readWmsg(c.c, &c.rbuf, c.strMode, &c.resp); err != nil {
+		return nil, err
+	}
+	if c.resp.kind == msgErr {
+		return nil, &RemoteError{Msg: c.resp.errMsg}
+	}
+	if c.resp.kind != wantKind {
+		return nil, errWire
+	}
+	return &c.resp, nil
+}
+
+// LookupBatch answers Lookup for every probe in probe order, plus the
+// store's visible length at the same instant (the router turns per-node
+// positions into global ones with it).
+func (c *Client) LookupBatch(probes []uint64) (pos []int, storeLen int, err error) {
+	if c.strMode {
+		return nil, 0, errMode
+	}
+	c.req = wmsg{kind: msgLookupBatch, keys: probes}
+	resp, err := c.rpc(&c.req, msgPositions)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.keys) != len(probes) {
+		return nil, 0, errWire
+	}
+	pos = make([]int, len(resp.keys))
+	for i, p := range resp.keys {
+		pos[i] = int(p)
+	}
+	return pos, int(resp.storeLen), nil
+}
+
+// LookupBatchString is LookupBatch for a string-keyed store.
+func (c *Client) LookupBatchString(probes []string) (pos []int, storeLen int, err error) {
+	if !c.strMode {
+		return nil, 0, errMode
+	}
+	c.req = wmsg{kind: msgLookupBatch, strMode: true, strs: probes}
+	resp, err := c.rpc(&c.req, msgPositions)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.keys) != len(probes) {
+		return nil, 0, errWire
+	}
+	pos = make([]int, len(resp.keys))
+	for i, p := range resp.keys {
+		pos[i] = int(p)
+	}
+	return pos, int(resp.storeLen), nil
+}
+
+// ContainsBatch answers Contains for every probe in probe order.
+func (c *Client) ContainsBatch(probes []uint64) ([]bool, error) {
+	if c.strMode {
+		return nil, errMode
+	}
+	c.req = wmsg{kind: msgContainsBatch, keys: probes}
+	resp, err := c.rpc(&c.req, msgBools)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.bools) != len(probes) {
+		return nil, errWire
+	}
+	return resp.bools, nil
+}
+
+// ContainsBatchString is ContainsBatch for a string-keyed store.
+func (c *Client) ContainsBatchString(probes []string) ([]bool, error) {
+	if !c.strMode {
+		return nil, errMode
+	}
+	c.req = wmsg{kind: msgContainsBatch, strMode: true, strs: probes}
+	resp, err := c.rpc(&c.req, msgBools)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.bools) != len(probes) {
+		return nil, errWire
+	}
+	return resp.bools, nil
+}
+
+// Scan returns one page of up to limit keys from [lo, hi) in ascending
+// order (hi ignored when bounded is false: scan to the end), and whether
+// more keys exist past the page. Resume by calling again with lo set to
+// the successor of the last key.
+func (c *Client) Scan(lo, hi uint64, bounded bool, limit int) (keys []uint64, more bool, err error) {
+	if c.strMode {
+		return nil, false, errMode
+	}
+	c.req = wmsg{kind: msgScan, lo: lo, hi: hi, bounded: bounded, limit: uint64(limit)}
+	resp, err := c.rpc(&c.req, msgKeys)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.keys, resp.more, nil
+}
+
+// ScanString is Scan for a string-keyed store.
+func (c *Client) ScanString(lo, hi string, bounded bool, limit int) (keys []string, more bool, err error) {
+	if !c.strMode {
+		return nil, false, errMode
+	}
+	c.req = wmsg{kind: msgScan, strMode: true, loS: lo, hiS: hi, bounded: bounded, limit: uint64(limit)}
+	resp, err := c.rpc(&c.req, msgKeys)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.strs, resp.more, nil
+}
+
+// CountRange returns the exact number of keys in [lo, hi) (or [lo, ∞) when
+// bounded is false).
+func (c *Client) CountRange(lo, hi uint64, bounded bool) (int, error) {
+	if c.strMode {
+		return 0, errMode
+	}
+	c.req = wmsg{kind: msgCountRange, lo: lo, hi: hi, bounded: bounded}
+	resp, err := c.rpc(&c.req, msgCount)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// CountRangeString is CountRange for a string-keyed store.
+func (c *Client) CountRangeString(lo, hi string, bounded bool) (int, error) {
+	if !c.strMode {
+		return 0, errMode
+	}
+	c.req = wmsg{kind: msgCountRange, strMode: true, loS: lo, hiS: hi, bounded: bounded}
+	resp, err := c.rpc(&c.req, msgCount)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.count), nil
+}
+
+// Insert durably inserts keys via the store's group-commit write path: when
+// it returns nil the keys are fsync-durable on the server. Duplicate keys
+// are no-ops (set semantics), which is what makes retry-after-timeout safe.
+func (c *Client) Insert(keys []uint64) error {
+	if c.strMode {
+		return errMode
+	}
+	c.req = wmsg{kind: msgInsert, keys: keys}
+	_, err := c.rpc(&c.req, msgOK)
+	return err
+}
+
+// InsertString is Insert for a string-keyed store.
+func (c *Client) InsertString(keys []string) error {
+	if !c.strMode {
+		return errMode
+	}
+	c.req = wmsg{kind: msgInsert, strMode: true, strs: keys}
+	_, err := c.rpc(&c.req, msgOK)
+	return err
+}
+
+// StatusRPC fetches the server's replication status and visible length.
+func (c *Client) StatusRPC() (Status, error) {
+	c.req = wmsg{kind: msgStatus, strMode: c.strMode}
+	resp, err := c.rpc(&c.req, msgStatusInfo)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{
+		Follower:          resp.follower,
+		Connected:         resp.connected,
+		AppliedSeq:        resp.applied,
+		PrimaryDurableSeq: resp.durable,
+		LagFrames:         resp.lag,
+		MaxEpoch:          resp.epoch,
+		Len:               int(resp.storeLen),
+	}, nil
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// buildWireStream encodes count valid request/response messages (the full
+// kind catalog), deterministic from seed, returning the bytes and the
+// originals for comparison.
+func buildWireStream(seed int64, count int, strMode bool) ([]byte, []wmsg) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []byte
+	var msgs []wmsg
+	randKeys := func(m *wmsg) {
+		for j := rng.Intn(6); j > 0; j-- {
+			if strMode {
+				m.strs = append(m.strs, fmt.Sprintf("k%04d", rng.Intn(10000)))
+			} else {
+				m.keys = append(m.keys, uint64(rng.Intn(1_000_000)))
+			}
+		}
+	}
+	randRange := func(m *wmsg) {
+		m.bounded = rng.Intn(3) > 0
+		if strMode {
+			m.loS = fmt.Sprintf("a%03d", rng.Intn(1000))
+			if m.bounded {
+				m.hiS = fmt.Sprintf("z%03d", rng.Intn(1000))
+			}
+		} else {
+			m.lo = uint64(rng.Intn(1_000_000))
+			if m.bounded {
+				m.hi = m.lo + uint64(rng.Intn(1_000_000))
+			}
+		}
+	}
+	for i := 0; i < count; i++ {
+		m := wmsg{strMode: strMode}
+		switch rng.Intn(12) {
+		case 0:
+			m.kind = msgHello
+		case 1:
+			m.kind = msgServerHello
+			m.follower = rng.Intn(2) == 1
+		case 2:
+			m.kind = msgLookupBatch
+			randKeys(&m)
+		case 3:
+			m.kind = msgPositions
+			m.storeLen = uint64(rng.Intn(1 << 20))
+			for j := rng.Intn(6); j > 0; j-- {
+				m.keys = append(m.keys, uint64(rng.Intn(1<<20)))
+			}
+		case 4:
+			m.kind = msgContainsBatch
+			randKeys(&m)
+		case 5:
+			m.kind = msgBools
+			for j := rng.Intn(20); j > 0; j-- {
+				m.bools = append(m.bools, rng.Intn(2) == 1)
+			}
+		case 6:
+			m.kind = msgScan
+			randRange(&m)
+			m.limit = uint64(rng.Intn(1 << 16))
+		case 7:
+			m.kind = msgKeys
+			m.more = rng.Intn(2) == 1
+			randKeys(&m)
+		case 8:
+			m.kind = msgCountRange
+			randRange(&m)
+		case 9:
+			m.kind = msgCount
+			m.count = uint64(rng.Intn(1 << 20))
+		case 10:
+			m.kind = msgInsert
+			randKeys(&m)
+		case 11:
+			switch rng.Intn(4) {
+			case 0:
+				m.kind = msgOK
+			case 1:
+				m.kind = msgStatus
+			case 2:
+				m.kind = msgErr
+				m.errMsg = fmt.Sprintf("store unhappy %d", rng.Intn(100))
+			case 3:
+				m.kind = msgStatusInfo
+				m.follower = rng.Intn(2) == 1
+				m.connected = rng.Intn(2) == 1
+				m.applied = uint64(rng.Intn(1 << 20))
+				m.durable = m.applied + uint64(rng.Intn(100))
+				m.lag = m.durable - m.applied
+				m.epoch = uint64(rng.Intn(16))
+				m.storeLen = uint64(rng.Intn(1 << 20))
+			}
+		}
+		out = appendWmsg(out, &m)
+		msgs = append(msgs, m)
+	}
+	return out, msgs
+}
+
+func wmsgEq(a, b wmsg) bool {
+	return a.kind == b.kind && a.strMode == b.strMode &&
+		a.follower == b.follower && a.connected == b.connected &&
+		a.bounded == b.bounded && a.more == b.more &&
+		a.lo == b.lo && a.hi == b.hi && a.loS == b.loS && a.hiS == b.hiS &&
+		a.limit == b.limit && a.count == b.count &&
+		a.applied == b.applied && a.durable == b.durable &&
+		a.lag == b.lag && a.epoch == b.epoch && a.storeLen == b.storeLen &&
+		slices.Equal(a.keys, b.keys) && slices.Equal(a.strs, b.strs) &&
+		slices.Equal(a.bools, b.bools) && a.errMsg == b.errMsg
+}
+
+// decodeAllWire reads messages until the first error, bounded (a hostile
+// stream must not loop forever). Never panics — that is the property under
+// test.
+func decodeAllWire(stream []byte, strMode bool, limit int) []wmsg {
+	r := bytes.NewReader(stream)
+	var buf []byte
+	var out []wmsg
+	for len(out) < limit {
+		var m wmsg
+		if err := readWmsg(r, &buf, strMode, &m); err != nil {
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// FuzzServerDecode is FuzzReplStreamDecode's serving-plane twin: a valid
+// message prefix followed by arbitrary bytes. The decoder must never
+// panic, must reproduce every intact prefix message bit-exactly, and
+// truncating the stream anywhere must yield a prefix of the full decode.
+func FuzzServerDecode(f *testing.F) {
+	f.Add(int64(1), uint8(4), false, []byte{})
+	f.Add(int64(2), uint8(7), true, []byte("garbage trailing bytes"))
+	f.Add(int64(3), uint8(0), false, []byte{0xff, 0x00, 0x07, 0x12})
+	valid, _ := buildWireStream(99, 3, false)
+	f.Add(int64(4), uint8(2), false, valid) // valid bytes as the "junk" tail
+	f.Add(int64(5), uint8(9), true, []byte{msgBools, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, strMode bool, tail []byte) {
+		count := int(n % 16)
+		prefix, want := buildWireStream(seed, count, strMode)
+		stream := append(append([]byte{}, prefix...), tail...)
+
+		got := decodeAllWire(stream, strMode, count+len(tail)+16)
+		if len(got) < count {
+			t.Fatalf("decoded %d of %d intact prefix messages", len(got), count)
+		}
+		for i := 0; i < count; i++ {
+			if !wmsgEq(got[i], want[i]) {
+				t.Fatalf("prefix message %d decoded as %+v, want %+v", i, got[i], want[i])
+			}
+		}
+
+		// Truncation anywhere: still no panic, and the result is a strict
+		// prefix of the full decode (a half-received stream never yields a
+		// message the full stream would not).
+		cut := int(uint64(seed>>13) % uint64(len(stream)+1))
+		trunc := decodeAllWire(stream[:cut], strMode, len(got)+1)
+		if len(trunc) > len(got) {
+			t.Fatalf("truncated stream decoded MORE messages (%d > %d)", len(trunc), len(got))
+		}
+		for i := range trunc {
+			if !wmsgEq(trunc[i], got[i]) {
+				t.Fatalf("truncated decode diverged at message %d", i)
+			}
+		}
+	})
+}

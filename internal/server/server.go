@@ -1,0 +1,484 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"learnedindex/internal/obs"
+	"learnedindex/internal/repl"
+	"learnedindex/internal/scan"
+	"learnedindex/internal/serve"
+)
+
+// Options tunes a Server. The zero value is ready to use.
+type Options struct {
+	// MaxInflight bounds the number of requests executing against the
+	// store at once, across all connections (default 64). Excess requests
+	// queue on their connection — backpressure, not rejection — so a
+	// misbehaving client herd cannot turn the store into a thread pool.
+	MaxInflight int
+	// IdleTimeout is the per-connection read deadline: a connection that
+	// sends no request for this long is closed (default 2m). Enforced by
+	// a watchdog that closes the connection rather than by transport
+	// deadlines, so TCP, the in-memory transport, and FaultNet all behave
+	// identically (repl.Conn has no deadline surface by design).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write the same way (default 30s):
+	// a client that stops draining its socket loses the connection, not
+	// the server a goroutine.
+	WriteTimeout time.Duration
+	// MaxScanKeys clamps the page size of a Scan response (default 65536)
+	// regardless of the limit the client asked for, bounding per-request
+	// memory the way maxWireKeys bounds decode allocations.
+	MaxScanKeys int
+	// DrainTimeout is how long Close waits for in-flight requests to
+	// finish and flush their responses before severing connections
+	// (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.MaxScanKeys <= 0 {
+		o.MaxScanKeys = 1 << 16
+	}
+	if o.MaxScanKeys > maxWireKeys {
+		o.MaxScanKeys = maxWireKeys
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// serverMetrics is the lix_server_* series, registered on the store's own
+// registry so one scrape sees the store and its wire front end together.
+type serverMetrics struct {
+	conns      *obs.Gauge   // lix_server_conns: open connections
+	accepts    *obs.Counter // lix_server_accepts_total
+	requests   map[byte]*obs.Counter
+	errors     *obs.Counter // lix_server_errors_total: respErr sent
+	wireErrors *obs.Counter // lix_server_wire_errors_total: corrupt/broken conns
+	timeouts   *obs.Counter // lix_server_timeouts_total: watchdog closes
+	keysIn     *obs.Counter // lix_server_keys_in_total
+	keysOut    *obs.Counter // lix_server_keys_out_total
+	reqNs      *obs.Histogram
+}
+
+var opNames = map[byte]string{
+	msgLookupBatch:   "lookup_batch",
+	msgContainsBatch: "contains_batch",
+	msgScan:          "scan",
+	msgCountRange:    "count_range",
+	msgInsert:        "insert",
+	msgStatus:        "status",
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		conns:      reg.Gauge("lix_server_conns"),
+		accepts:    reg.Counter("lix_server_accepts_total"),
+		requests:   make(map[byte]*obs.Counter, len(opNames)),
+		errors:     reg.Counter("lix_server_errors_total"),
+		wireErrors: reg.Counter("lix_server_wire_errors_total"),
+		timeouts:   reg.Counter("lix_server_timeouts_total"),
+		keysIn:     reg.Counter("lix_server_keys_in_total"),
+		keysOut:    reg.Counter("lix_server_keys_out_total"),
+		reqNs:      reg.Histogram("lix_server_request_ns"),
+	}
+	for kind, name := range opNames {
+		m.requests[kind] = reg.Counter(obs.L("lix_server_requests_total", "op", name))
+	}
+	return m
+}
+
+// Server fronts one serve.Store with the wire protocol. Serve accepts
+// connections until Close, which drains gracefully: the listener closes
+// first, in-flight requests finish and flush their responses (bounded by
+// DrainTimeout), then the remaining connections are severed.
+type Server struct {
+	st  *serve.Store
+	opt Options
+	m   serverMetrics
+
+	inflight chan struct{}
+	reqWG    sync.WaitGroup // in-flight request executions
+	connWG   sync.WaitGroup // per-connection handler goroutines
+
+	mu     sync.Mutex
+	ln     repl.Listener
+	conns  map[repl.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps st; it does not listen until Serve.
+func NewServer(st *serve.Store, opt Options) *Server {
+	s := &Server{
+		st:    st,
+		opt:   opt.withDefaults(),
+		conns: make(map[repl.Conn]struct{}),
+		m:     newServerMetrics(st.Registry()),
+	}
+	s.inflight = make(chan struct{}, s.opt.MaxInflight)
+	return s
+}
+
+// Serve binds addr on t and accepts connections in a background goroutine.
+// The bound address (useful with ":0") is available via Addr.
+func (s *Server) Serve(t repl.Transport, addr string) error {
+	ln, err := t.Listen(addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.connWG.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln repl.Listener) {
+	defer s.connWG.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.m.accepts.Inc()
+		s.m.conns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Close stops accepting, waits up to DrainTimeout for in-flight requests
+// to finish and flush, then severs every remaining connection. It does not
+// close the store.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Drain: requests already executing complete and their responses are
+	// written before we cut the connections under them.
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.opt.DrainTimeout):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c repl.Conn) {
+	c.Close()
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.m.conns.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// handleConn runs the handshake and then the request/response loop. The
+// read watchdog enforces IdleTimeout and the write watchdog WriteTimeout,
+// both by closing the connection (never deadlines — see Options).
+func (s *Server) handleConn(c repl.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(c)
+
+	var timedOut sync.Once
+	timeout := func() {
+		timedOut.Do(func() { s.m.timeouts.Inc() })
+		c.Close()
+	}
+	strMode := s.st.StringKeys()
+	var req, resp wmsg
+	rbuf := make([]byte, 0, 4096)
+	wbuf := make([]byte, 0, 4096)
+
+	// Handshake: the client leads with hello; a key-mode mismatch is
+	// answered with an explicit error (the one respErr a client can get
+	// before serverHello) so the operator sees "wrong mode", not EOF.
+	wd := time.AfterFunc(s.opt.IdleTimeout, timeout)
+	err := readWmsg(c, &rbuf, strMode, &req)
+	wd.Stop()
+	if err != nil || req.kind != msgHello {
+		s.m.wireErrors.Inc()
+		return
+	}
+	if req.strMode != strMode {
+		resp = wmsg{kind: msgErr, errMsg: fmt.Sprintf("server: key mode mismatch: client strings=%v, store strings=%v", req.strMode, strMode)}
+		s.writeResp(c, &wbuf, &resp)
+		return
+	}
+	resp = wmsg{kind: msgServerHello, strMode: strMode, follower: s.st.IsFollower()}
+	if !s.writeResp(c, &wbuf, &resp) {
+		return
+	}
+
+	for {
+		wd := time.AfterFunc(s.opt.IdleTimeout, timeout)
+		err := readWmsg(c, &rbuf, strMode, &req)
+		wd.Stop()
+		if err != nil {
+			// A bare io.EOF means the client hung up on a frame boundary —
+			// a normal disconnect, not a corrupt conn. Mid-frame EOF
+			// surfaces as ErrUnexpectedEOF and still counts.
+			if !errors.Is(err, io.EOF) {
+				s.m.wireErrors.Inc()
+			}
+			return
+		}
+		s.mu.Lock()
+		closing := s.closed
+		s.mu.Unlock()
+		if closing {
+			return
+		}
+		ctr, ok := s.m.requests[req.kind]
+		if !ok {
+			s.m.wireErrors.Inc()
+			return // request kind unknown or a response kind: protocol abuse
+		}
+		ctr.Inc()
+
+		// The semaphore bounds store work across all connections; the
+		// reqWG makes Close wait for the response flush, not just the
+		// store call.
+		s.inflight <- struct{}{}
+		s.reqWG.Add(1)
+		start := time.Now()
+		s.handle(&req, &resp)
+		s.m.reqNs.ObserveDuration(time.Since(start))
+		<-s.inflight
+		okWrite := s.writeResp(c, &wbuf, &resp)
+		s.reqWG.Done()
+		if !okWrite {
+			return
+		}
+	}
+}
+
+func (s *Server) writeResp(c repl.Conn, wbuf *[]byte, m *wmsg) bool {
+	wd := time.AfterFunc(s.opt.WriteTimeout, func() {
+		s.m.timeouts.Inc()
+		c.Close()
+	})
+	err := writeWmsg(c, wbuf, m)
+	wd.Stop()
+	if err != nil {
+		s.m.wireErrors.Inc()
+		return false
+	}
+	return true
+}
+
+// handle executes one request against the store and fills resp. Store-level
+// failures become respErr (connection stays healthy); only wire-level
+// failures kill the connection.
+func (s *Server) handle(req, resp *wmsg) {
+	strMode := req.strMode
+	switch req.kind {
+	case msgLookupBatch:
+		var pos []uint64
+		if strMode {
+			s.m.keysIn.Add(int64(len(req.strs)))
+			pos = make([]uint64, len(req.strs))
+			for i, k := range req.strs {
+				pos[i] = uint64(s.st.LookupString(k))
+			}
+		} else {
+			s.m.keysIn.Add(int64(len(req.keys)))
+			ps := s.st.LookupBatch(req.keys)
+			pos = make([]uint64, len(ps))
+			for i, p := range ps {
+				pos[i] = uint64(p)
+			}
+		}
+		*resp = wmsg{kind: msgPositions, strMode: strMode, storeLen: uint64(s.st.Len()), keys: pos}
+		s.m.keysOut.Add(int64(len(pos)))
+	case msgContainsBatch:
+		var bs []bool
+		if strMode {
+			s.m.keysIn.Add(int64(len(req.strs)))
+			bs = make([]bool, len(req.strs))
+			for i, k := range req.strs {
+				bs[i] = s.st.ContainsString(k)
+			}
+		} else {
+			s.m.keysIn.Add(int64(len(req.keys)))
+			bs = s.st.ContainsBatch(req.keys)
+		}
+		*resp = wmsg{kind: msgBools, strMode: strMode, bools: bs}
+		s.m.keysOut.Add(int64(len(bs)))
+	case msgScan:
+		s.handleScan(req, resp)
+	case msgCountRange:
+		var n int
+		if strMode {
+			if req.bounded {
+				n = s.st.CountRangeString(req.loS, req.hiS)
+			} else {
+				n = s.st.CountFromString(req.loS)
+			}
+		} else if req.bounded {
+			n = s.st.CountRange(req.lo, req.hi)
+		} else {
+			n = s.st.CountRange(req.lo, ^uint64(0))
+			// The uint64 open-ended form means "through the maximum key";
+			// CountRange's exclusive hi cannot see ^uint64(0) itself.
+			if s.st.Contains(^uint64(0)) {
+				n++
+			}
+		}
+		*resp = wmsg{kind: msgCount, strMode: strMode, count: uint64(n)}
+	case msgInsert:
+		var err error
+		if strMode {
+			s.m.keysIn.Add(int64(len(req.strs)))
+			err = s.st.InsertDurableString(req.strs...)
+		} else {
+			s.m.keysIn.Add(int64(len(req.keys)))
+			err = s.st.InsertDurable(req.keys...)
+		}
+		if err != nil {
+			s.m.errors.Inc()
+			*resp = wmsg{kind: msgErr, strMode: strMode, errMsg: err.Error()}
+			return
+		}
+		*resp = wmsg{kind: msgOK, strMode: strMode}
+	case msgStatus:
+		fs, isFollower := s.st.FollowerStatus()
+		*resp = wmsg{
+			kind:      msgStatusInfo,
+			strMode:   strMode,
+			follower:  isFollower,
+			connected: fs.Connected,
+			applied:   fs.AppliedSeq,
+			durable:   fs.PrimaryDurableSeq,
+			lag:       fs.LagFrames,
+			epoch:     fs.MaxEpoch,
+			storeLen:  uint64(s.st.Len()),
+		}
+	default:
+		s.m.errors.Inc()
+		*resp = wmsg{kind: msgErr, strMode: strMode, errMsg: "server: unhandled request kind"}
+	}
+}
+
+// handleScan answers one page of a range scan: up to limit keys from lo,
+// plus a more flag when another key exists past the page (the server reads
+// one key beyond the page to know, without losing it — the client resumes
+// from successor(last key)).
+func (s *Server) handleScan(req, resp *wmsg) {
+	limit := int(req.limit)
+	if limit <= 0 || limit > s.opt.MaxScanKeys {
+		limit = s.opt.MaxScanKeys
+	}
+	if req.strMode {
+		var it *scan.Iterator[string]
+		if req.bounded {
+			it = s.st.ScanString(req.loS, req.hiS)
+		} else {
+			it = s.st.ScanStringFrom(req.loS)
+		}
+		keys := make([]string, 0, limit)
+		more := false
+		for it.Next() {
+			if len(keys) == limit {
+				more = true
+				break
+			}
+			keys = append(keys, it.Key())
+		}
+		it.Close()
+		*resp = wmsg{kind: msgKeys, strMode: true, more: more, strs: keys}
+		s.m.keysOut.Add(int64(len(keys)))
+		return
+	}
+	var hi uint64
+	if req.bounded {
+		hi = req.hi
+	} else {
+		hi = ^uint64(0)
+	}
+	it := s.st.Scan(req.lo, hi)
+	keys := make([]uint64, 0, limit)
+	more := false
+	for it.Next() {
+		if len(keys) == limit {
+			more = true
+			break
+		}
+		keys = append(keys, it.Key())
+	}
+	it.Close()
+	// Mirror the CountRange patch: the open-ended uint64 form includes the
+	// maximum key, which Scan's exclusive hi cannot reach.
+	if !req.bounded && !more && s.st.Contains(^uint64(0)) {
+		if len(keys) < limit {
+			keys = append(keys, ^uint64(0))
+		} else {
+			more = true
+		}
+	}
+	*resp = wmsg{kind: msgKeys, strMode: false, more: more, keys: keys}
+	s.m.keysOut.Add(int64(len(keys)))
+}
